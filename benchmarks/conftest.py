@@ -1,0 +1,44 @@
+"""Benchmark harness configuration.
+
+Each ``test_*`` file regenerates one table or figure of the paper.
+Expensive per-benchmark artefacts (trained predictors, simulated test
+records) are prepared once per session by the ``prewarmed`` fixture, so
+pytest-benchmark timings measure the experiment's analysis/replay step.
+
+Every benchmark writes its regenerated rows to
+``benchmarks/results/<name>.txt`` so a run leaves a complete
+paper-vs-reproduction record behind (EXPERIMENTS.md points here).
+
+Workload scale follows ``REPRO_SCALE`` (default 1.0 — a laptop-sized
+rendition of Table 3; raise it for tighter statistics).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import bundle_for, default_scale
+from repro.workloads import ALL_BENCHMARKS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def prewarmed():
+    """Build every benchmark bundle once, up front."""
+    scale = default_scale()
+    for name in ALL_BENCHMARKS:
+        bundle_for(name, scale)
+    return scale
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

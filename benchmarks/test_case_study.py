@@ -1,0 +1,18 @@
+"""Sec 3.7: the h264 case study (feature reduction, slice costs)."""
+
+from repro.experiments import case_study
+
+
+def test_case_study(benchmark, prewarmed, save_result):
+    result = benchmark.pedantic(case_study.run, rounds=1, iterations=1)
+    save_result("case_study", case_study.to_text(result))
+    # Lasso reduces the candidate pool to a small working set
+    # (paper: 257 -> 7 on the full RTL's candidate pool).
+    assert result.n_selected_features <= result.n_candidate_features / 2
+    # Worst-case error around the paper's ~3%.
+    assert result.worst_case_error_pct < 4.0
+    # Slice area a few percent (paper: 5.7%), energy small (2.8%),
+    # execution 5-15% of the decoder's time (ours is a touch faster).
+    assert result.slice_area_fraction < 0.10
+    assert result.slice_energy_fraction < 0.05
+    assert 0.005 < result.slice_time_fraction_max < 0.20

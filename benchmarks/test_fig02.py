@@ -1,0 +1,16 @@
+"""Fig 2: per-frame execution time of h264 over three clips."""
+
+from repro.experiments import fig02_variation
+
+
+def test_fig02(benchmark, prewarmed, save_result):
+    result = benchmark.pedantic(fig02_variation.run, rounds=1,
+                                iterations=1)
+    save_result("fig02", fig02_variation.to_text(result))
+    # Three clips at the same resolution, visibly different time bands,
+    # with within-clip variation (the premise of fine-grained DVFS).
+    assert set(result.clips) == {"coastguard", "foreman", "news"}
+    avg = {c: sum(v) / len(v) for c, v in result.series_ms.items()}
+    assert avg["coastguard"] > avg["foreman"] > avg["news"]
+    for clip in result.clips:
+        assert result.spread(clip) > 0.3  # ms

@@ -1,0 +1,11 @@
+"""Fig 3: PID misprediction around h264 execution-time spikes."""
+
+from repro.experiments import fig03_pid
+
+
+def test_fig03(benchmark, prewarmed, save_result):
+    result = benchmark.pedantic(fig03_pid.run, rounds=1, iterations=1)
+    save_result("fig03", fig03_pid.to_text(result))
+    # The PID prediction lags actual changes by one job: errors
+    # correlate with the negated previous-frame delta.
+    assert result.lag_correlation() > 0.2

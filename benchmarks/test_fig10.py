@@ -1,0 +1,18 @@
+"""Fig 10: prediction-error box statistics per benchmark."""
+
+from repro.experiments import fig10_errors
+
+
+def test_fig10(benchmark, prewarmed, save_result):
+    result = benchmark.pedantic(fig10_errors.run, rounds=1, iterations=1)
+    save_result("fig10", fig10_errors.to_text(result))
+    for name, report in result.reports.items():
+        # "For most benchmarks, the prediction error is negligible."
+        limit = 12.0 if name == "djpeg" else 3.0
+        assert report.mean_abs_pct < limit, name
+        # Conservative: under-predictions stay bounded.
+        assert report.max_under_pct < 15.0, name
+    # "The JPEG decoder showed higher prediction error."
+    others = [r.mean_abs_pct for n, r in result.reports.items()
+              if n != "djpeg"]
+    assert result.reports["djpeg"].mean_abs_pct > max(others)

@@ -1,0 +1,24 @@
+"""Fig 11: baseline vs PID vs prediction — energy and misses (ASIC).
+
+The paper's headline: 36.7% average energy savings with 0.4% misses;
+the PID controller misses 10.5% of deadlines.
+"""
+
+from repro.experiments import fig11_schemes
+
+
+def test_fig11(benchmark, prewarmed, save_result):
+    summaries = benchmark.pedantic(fig11_schemes.run, rounds=1,
+                                   iterations=1)
+    save_result("fig11", fig11_schemes.to_text(summaries))
+    head = fig11_schemes.headline(summaries)
+    # Shape checks against the paper's numbers.
+    assert 25 < head["prediction_energy_savings_pct"] < 55  # paper 36.7
+    assert head["prediction_miss_pct"] < 2.0                # paper 0.4
+    assert 4 < head["pid_miss_pct"] < 25                    # paper 10.5
+    assert head["pid_miss_pct"] > 5 * max(
+        head["prediction_miss_pct"], 0.4)
+    # The baseline rows are exact by construction.
+    for s in summaries:
+        if s.scheme == "baseline":
+            assert s.miss_rate_pct == 0.0

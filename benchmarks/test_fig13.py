@@ -1,0 +1,17 @@
+"""Fig 13: overhead-free prediction vs the oracle."""
+
+from repro.experiments import fig13_oracle
+
+
+def test_fig13(benchmark, prewarmed, save_result):
+    summaries = benchmark.pedantic(fig13_oracle.run, rounds=1,
+                                   iterations=1)
+    save_result("fig13", fig13_oracle.to_text(summaries))
+    head = fig13_oracle.headline(summaries)
+    # Removing overheads helps a little (paper: 3.1%), and the result
+    # sits within a few percent of the oracle (paper: 0.7%).
+    assert 0 <= head["overhead_cost_pct"] < 6
+    assert 0 <= head["gap_to_oracle_pct"] < 4
+    # Without overheads, misses vanish (paper: 0%).
+    assert head["no_overhead_miss_pct"] == 0.0
+    assert head["oracle_miss_pct"] == 0.0

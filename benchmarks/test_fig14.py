@@ -1,0 +1,13 @@
+"""Fig 14: the boost level eliminates residual misses."""
+
+from repro.experiments import fig14_boost
+
+
+def test_fig14(benchmark, prewarmed, save_result):
+    summaries = benchmark.pedantic(fig14_boost.run, rounds=1,
+                                   iterations=1)
+    save_result("fig14", fig14_boost.to_text(summaries))
+    head = fig14_boost.headline(summaries)
+    # Paper: misses go to zero for +0.24% energy.
+    assert head["boost_miss_pct"] == 0.0
+    assert head["boost_energy_increase_pct"] < 1.5

@@ -1,0 +1,22 @@
+"""Fig 15: deadline sensitivity, 0.6x to 1.6x of 16.7 ms."""
+
+from repro.experiments import fig15_deadlines
+
+
+def test_fig15(benchmark, prewarmed, save_result):
+    points = benchmark.pedantic(fig15_deadlines.run, rounds=1,
+                                iterations=1)
+    save_result("fig15", fig15_deadlines.to_text(points))
+    pred = fig15_deadlines.series(points, "prediction")
+    base = fig15_deadlines.series(points, "baseline")
+    energies = [e for _, e, _ in pred]
+    # Longer deadlines -> monotone energy reduction for prediction.
+    assert all(a >= b for a, b in zip(energies, energies[1:]))
+    # At 0.6x even the baseline misses (jobs longer than the deadline);
+    # at 1.2x+ prediction meets everything.
+    assert base[0][2] > 0
+    for factor, _, miss in pred:
+        if factor >= 1.2:
+            assert miss == 0.0
+    # Baseline energy stays at 100% throughout.
+    assert all(abs(e - 100.0) < 1e-9 for _, e, _ in base)

@@ -1,0 +1,12 @@
+"""Fig 16: FPGA (Kintex-7) energy and misses."""
+
+from repro.experiments import fig16_fpga
+
+
+def test_fig16(benchmark, prewarmed, save_result):
+    summaries = benchmark.pedantic(fig16_fpga.run, rounds=1, iterations=1)
+    save_result("fig16", fig16_fpga.to_text(summaries))
+    head = fig16_fpga.headline(summaries)
+    # Paper: 35.9% savings, 0.4% misses — comparable to ASIC.
+    assert 25 < head["prediction_energy_savings_pct"] < 55
+    assert head["prediction_miss_pct"] < 2.0

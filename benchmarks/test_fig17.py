@@ -1,0 +1,20 @@
+"""Fig 17: FPGA slice overheads (resources, energy, time)."""
+
+from repro.experiments import fig12_overheads
+
+
+def run_fpga():
+    return fig12_overheads.run(tech="fpga")
+
+
+def test_fig17(benchmark, prewarmed, save_result):
+    rows = benchmark.pedantic(run_fpga, rounds=1, iterations=1)
+    save_result("fig17", fig12_overheads.to_text(rows, tech="fpga"))
+    avg = rows[-1]
+    # Paper: 9.4% resources, 2% energy, 3.5% budget; stencil's relative
+    # resource overhead is the outlier (control-only LUT usage).
+    assert avg.area_pct < 40
+    assert avg.energy_pct < 4
+    assert avg.time_pct < 6
+    by_name = {r.benchmark: r for r in rows}
+    assert by_name["stencil"].area_pct > by_name["h264"].area_pct

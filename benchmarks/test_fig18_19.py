@@ -1,0 +1,20 @@
+"""Figs 18/19: RTL-level vs HLS-level slicing for md and stencil."""
+
+from repro.experiments import fig18_hls
+
+
+def test_fig18_19(benchmark, prewarmed, save_result):
+    results = benchmark.pedantic(fig18_hls.run, rounds=1, iterations=1)
+    save_result("fig18_19", fig18_hls.to_text(results))
+    by_label = {r.label: r for r in results}
+    # Fig 18: accuracy comparable, misses disappear with HLS slicing.
+    for name in ("md", "stencil"):
+        rtl = by_label[f"{name}-rtl"]
+        hls = by_label[f"{name}-hls"]
+        assert abs(rtl.error_box.median) < 2.0
+        assert abs(hls.error_box.median) < 2.0
+        assert hls.miss_rate_pct == 0.0
+    # md's RTL slice is slow enough to starve near-deadline jobs.
+    assert by_label["md-rtl"].miss_rate_pct > 0.0
+    # Fig 19: the HLS slice executes much faster.
+    assert by_label["md-hls"].time_pct < by_label["md-rtl"].time_pct / 5

@@ -1,0 +1,50 @@
+"""Throughput benches for the framework itself (not a paper figure):
+how fast the offline flow and the simulator substrate run."""
+
+from repro.accelerators import get_design
+from repro.flow import FlowConfig, generate_predictor
+from repro.rtl import Simulation, synthesize
+from repro.workloads import workload_for
+
+
+def test_offline_flow_cjpeg(benchmark):
+    """The complete Fig 6 offline flow on the JPEG encoder."""
+    design = get_design("cjpeg")
+    workload = workload_for("cjpeg", scale=0.15)
+
+    def flow():
+        return generate_predictor(design, workload.train,
+                                  FlowConfig(gamma=1e-4))
+
+    package = benchmark.pedantic(flow, rounds=1, iterations=1)
+    assert package.n_selected_features >= 1
+
+
+def test_simulator_throughput_h264(benchmark):
+    """Cycle-accurate simulation rate on the largest design."""
+    design = get_design("h264")
+    module = design.build()
+    workload = workload_for("h264", scale=0.1)
+    job = design.encode_job(workload.test[0])
+    sim = Simulation(module, track_state_cycles=False)
+
+    def run_one_frame():
+        sim.reset()
+        sim.load(*job.as_pair())
+        return sim.run()
+
+    result = benchmark(run_one_frame)
+    assert result.finished
+
+
+def test_synthesis_throughput(benchmark):
+    """Behavioural-to-structural lowering of all seven designs."""
+    designs = [get_design(n) for n in
+               ("h264", "cjpeg", "djpeg", "md", "stencil", "aes", "sha")]
+    modules = [d.build() for d in designs]
+
+    def synth_all():
+        return [synthesize(m) for m in modules]
+
+    netlists = benchmark(synth_all)
+    assert len(netlists) == 7

@@ -1,0 +1,10 @@
+"""Table 3: benchmark/workload summary."""
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, save_result):
+    rows = benchmark(table3.run)
+    text = table3.to_text(rows)
+    save_result("table3", text)
+    assert len(rows) == 7

@@ -1,0 +1,18 @@
+"""Table 4: ASIC implementation results (area, frequency, exec time)."""
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, prewarmed, save_result):
+    rows = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    text = table4.to_text(rows)
+    save_result("table4", text)
+    for row in rows:
+        paper = table4.PAPER_TABLE4[row.benchmark]
+        # Areas within ~2x of the paper's place-and-route results.
+        assert paper[0] / 2 <= row.area_um2 <= paper[0] * 2, row.benchmark
+        assert row.freq_mhz == paper[1]
+        # Large input-dependent execution-time variation, under the
+        # 16.7ms deadline, like the paper's Table 4.
+        assert row.max_ms < 16.7
+        assert row.max_ms > 2 * row.min_ms

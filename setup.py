@@ -1,0 +1,7 @@
+"""Setuptools shim: enables legacy editable installs on environments
+without the ``wheel`` package (offline boxes), via
+``pip install -e . --no-use-pep517 --no-build-isolation``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,129 @@
+"""AES encryption accelerator.
+
+One job encrypts one data piece (e.g. a DRM-protected video frame's
+payload, Sec. 4.2).  The engine walks the DMA descriptor (a short
+feeds-control scan), runs the key schedule, then processes the data in
+1024-block chunks; per-block cycles depend on the cipher mode (CBC is
+serial, CTR pipelines better) and key size (AES-256 adds rounds).
+
+Job time is essentially linear in data size with mode/key terms, so
+prediction is exact; the challenge for reactive schemes is that
+consecutive pieces have unrelated sizes.
+"""
+
+from __future__ import annotations
+
+from ..rtl import (
+    DatapathBlock,
+    Fsm,
+    Module,
+    Sig,
+    down_counter,
+    minimum,
+    up_counter,
+)
+from ..units import MHZ
+from ..workloads.datastream import DataPiece
+from .base import AcceleratorDesign, JobInput
+
+CHUNK_BLOCKS = 1024
+DESC_SCAN_BASE = 1800       # DMA descriptor walk (feeds control)
+KEYSCHED_BASE = 2200
+KEYSCHED_256_EXTRA = 1800
+CYCLES_PER_BLOCK_CBC = 16
+CYCLES_PER_BLOCK_CTR = 13
+CYCLES_PER_BLOCK_256 = 4    # extra rounds
+
+
+class AesAccelerator(AcceleratorDesign):
+    """AES engine; one job encrypts one piece of data."""
+
+    name = "aes"
+    description = "Advanced Encryption Standard"
+    task_description = "Encrypt a piece of data"
+    nominal_frequency = 500 * MHZ
+
+    def _build(self) -> Module:
+        m = Module("aes")
+        n_blocks = m.port("n_blocks", 24)
+        mode = m.port("mode", 1)      # 0 CBC, 1 CTR
+        key256 = m.port("key256", 1)
+
+        blocks_left = m.reg("blocks_left", 24)
+        per_block = m.wire(
+            "per_block",
+            (mode == 0) * CYCLES_PER_BLOCK_CBC
+            + (mode == 1) * CYCLES_PER_BLOCK_CTR
+            + key256 * CYCLES_PER_BLOCK_256,
+            8,
+        )
+        chunk_blocks = m.wire(
+            "chunk_blocks", minimum(Sig("blocks_left"), CHUNK_BLOCKS), 12)
+
+        ctrl = Fsm("ctrl", initial="IDLE")
+        ctrl.transition("IDLE", "DESC", cond=n_blocks > 0,
+                        actions=[("blocks_left", n_blocks)])
+        ctrl.transition("DESC", "KEYSCHED")
+        ctrl.transition("KEYSCHED", "CRYPT")
+        ctrl.transition(
+            "CRYPT", "CRYPT", cond=blocks_left > CHUNK_BLOCKS,
+            actions=[("blocks_left", blocks_left - CHUNK_BLOCKS)])
+        ctrl.transition("CRYPT", "FLUSH", actions=[("blocks_left", 0)])
+        ctrl.transition("FLUSH", "DONE")
+
+        ctrl.wait_state("DESC", "c_desc", feeds_control=True)
+        ctrl.wait_state("KEYSCHED", "c_keysched")
+        ctrl.wait_state("CRYPT", "c_crypt")
+        ctrl.wait_state("FLUSH", "c_flush")
+        m.fsm(ctrl)
+
+        m.counter(down_counter(
+            "c_desc", load_cond=ctrl.arc_signal("IDLE", "DESC"),
+            load_value=DESC_SCAN_BASE + (n_blocks >> 2), width=18,
+        ))
+        m.counter(down_counter(
+            "c_keysched", load_cond=ctrl.arc_signal("DESC", "KEYSCHED"),
+            load_value=KEYSCHED_BASE + key256 * KEYSCHED_256_EXTRA,
+            width=13,
+        ))
+        m.counter(down_counter(
+            "c_crypt", load_cond=ctrl.entry_signal("CRYPT"),
+            load_value=Sig("chunk_blocks") * Sig("per_block"),
+            width=18,
+        ))
+        m.counter(down_counter(
+            "c_flush", load_cond=ctrl.arc_signal("CRYPT", "FLUSH"),
+            load_value=420, width=10,
+        ))
+        m.counter(up_counter(
+            "chunks_done",
+            reset_cond=ctrl.arc_signal("FLUSH", "DONE"),
+            enable=ctrl.entry_signal("CRYPT"),
+            width=10,
+        ))
+
+        m.datapath(DatapathBlock(
+            "round_dp", cells={"XOR": 320, "SHL": 64, "MUX": 160,
+                               "ADD": 40},
+            width=8, inputs=("per_block",),
+            active_states=(("ctrl", "CRYPT"),),
+        ))
+        m.datapath(DatapathBlock(
+            "keysched_dp", cells={"XOR": 60, "SHL": 16, "MUX": 30},
+            width=8, inputs=("key256",),
+            active_states=(("ctrl", "KEYSCHED"),),
+        ))
+        m.memory("sbox", depth=2048, width=8)
+        m.memory("data_buffer", depth=1024, width=32)
+
+        m.set_done(Sig("ctrl__state") == ctrl.code_of("DONE"))
+        return m.finalize()
+
+    def encode_job(self, piece: DataPiece) -> JobInput:
+        return JobInput(
+            inputs={"n_blocks": piece.aes_blocks, "mode": piece.mode,
+                    "key256": int(piece.key256)},
+            memories={},
+            coarse_param=piece.size_class,
+            meta={"piece": piece.index, "bytes": piece.n_bytes},
+        )

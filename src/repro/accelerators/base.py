@@ -1,0 +1,71 @@
+"""Accelerator design framework.
+
+Each benchmark accelerator (Table 3 of the paper) is a class that
+builds a behavioural RTL module and knows how to encode its workload
+items into job inputs (port values + scratchpad contents).  The
+``nominal_frequency`` matches Table 4; per-design cycle coefficients
+are calibrated so execution-time statistics land in the paper's
+millisecond regime at that frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..rtl.module import Module
+from ..units import FRAME_DEADLINE_60FPS
+
+
+@dataclass(frozen=True)
+class JobInput:
+    """Everything needed to load one job into a simulation."""
+
+    inputs: Dict[str, int]
+    memories: Dict[str, Sequence[int]]
+    coarse_param: int = 0  # table-based controller's lookup key
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def as_pair(self):
+        """The (inputs, memories) pair Simulation.load expects."""
+        return (self.inputs, self.memories)
+
+
+class AcceleratorDesign:
+    """Base class for benchmark accelerators.
+
+    Subclasses set ``name``, ``nominal_frequency`` and ``description``
+    and implement ``_build`` plus ``encode_job``.
+    """
+
+    name: str = ""
+    description: str = ""
+    task_description: str = ""
+    nominal_frequency: float = 0.0
+    deadline: float = FRAME_DEADLINE_60FPS
+
+    def __init__(self) -> None:
+        if not self.name or self.nominal_frequency <= 0:
+            raise ValueError(
+                f"{type(self).__name__} must define name and frequency"
+            )
+        self._module: Optional[Module] = None
+
+    def build(self) -> Module:
+        """The design's behavioural module (built once, cached)."""
+        if self._module is None:
+            self._module = self._build()
+            if not self._module.finalized:
+                self._module.finalize()
+        return self._module
+
+    def _build(self) -> Module:
+        raise NotImplementedError
+
+    def encode_job(self, item: Any) -> JobInput:
+        """Encode one workload item into a loadable job."""
+        raise NotImplementedError
+
+    def encode_jobs(self, items: Sequence[Any]) -> List[JobInput]:
+        """Encode a sequence of workload items."""
+        return [self.encode_job(item) for item in items]

@@ -1,0 +1,126 @@
+"""JPEG encoder accelerator (cjpeg).
+
+Processes an image strip by strip (one strip = a row of 8x8 blocks).
+Per strip: a light content *scan* pass (feeds control — this is what
+the prediction slice executes to learn per-strip activity), forward
+DCT, quantization, then entropy (Huffman) encoding whose cost grows
+with the number of non-zero coefficients.
+
+Execution time varies over an order of magnitude with image size
+(Table 4: 0.88-13.90 ms), and consecutive images are uncorrelated,
+which is what defeats reactive DVFS controllers on this benchmark.
+"""
+
+from __future__ import annotations
+
+from ..rtl import (
+    DatapathBlock,
+    Fsm,
+    MemRead,
+    Module,
+    Sig,
+    down_counter,
+    up_counter,
+)
+from ..units import MHZ
+from ..workloads.images import Image
+from .base import AcceleratorDesign, JobInput
+
+SCAN_PER_BLOCK = 140      # feeds-control content scan (slice runs this)
+DCT_PER_BLOCK = 760
+QUANT_PER_BLOCK = 220
+HUF_PER_BLOCK = 280
+HUF_PER_NNZ = 9
+
+
+class JpegEncoder(AcceleratorDesign):
+    """JPEG encoder; one job encodes one image."""
+
+    name = "cjpeg"
+    description = "JPEG encoder"
+    task_description = "Encode one image"
+    nominal_frequency = 250 * MHZ
+
+    def _build(self) -> Module:
+        m = Module("cjpeg")
+        n_strips = m.port("n_strips", 8)
+        m.memory("strips", depth=64, width=24)
+
+        idx = m.reg("idx", 8)
+        word = m.wire("word", MemRead("strips", Sig("idx")), 24)
+        nb = m.wire("nb", Sig("word") & 0x3F, 6)
+        nnz = m.wire("nnz", (Sig("word") >> 6) & 0xFFF, 12)
+
+        ctrl = Fsm("ctrl", initial="IDLE")
+        ctrl.transition("IDLE", "FETCH", cond=n_strips > 0)
+        ctrl.transition("FETCH", "SCAN")
+        ctrl.transition("SCAN", "DCT")
+        ctrl.transition("DCT", "QUANT")
+        ctrl.transition("QUANT", "HUF")
+        ctrl.transition("HUF", "FETCH", cond=idx < (n_strips - 1),
+                        actions=[("idx", idx + 1)])
+        ctrl.transition("HUF", "DONE", actions=[("idx", idx + 1)])
+
+        ctrl.wait_state("SCAN", "c_scan", feeds_control=True)
+        ctrl.wait_state("DCT", "c_dct")
+        ctrl.wait_state("QUANT", "c_quant")
+        ctrl.wait_state("HUF", "c_huf")
+        m.fsm(ctrl)
+
+        m.counter(down_counter(
+            "c_scan", load_cond=ctrl.arc_signal("FETCH", "SCAN"),
+            load_value=nb * SCAN_PER_BLOCK, width=16,
+        ))
+        m.counter(down_counter(
+            "c_dct", load_cond=ctrl.arc_signal("SCAN", "DCT"),
+            load_value=nb * DCT_PER_BLOCK, width=16,
+        ))
+        m.counter(down_counter(
+            "c_quant", load_cond=ctrl.arc_signal("DCT", "QUANT"),
+            load_value=nb * QUANT_PER_BLOCK, width=16,
+        ))
+        m.counter(down_counter(
+            "c_huf", load_cond=ctrl.arc_signal("QUANT", "HUF"),
+            load_value=nb * HUF_PER_BLOCK + Sig("nnz") * HUF_PER_NNZ,
+            width=18,
+        ))
+        m.counter(up_counter(
+            "strips_done",
+            reset_cond=ctrl.arc_signal("HUF", "DONE"),
+            enable=ctrl.entry_signal("HUF"),
+            width=8,
+        ))
+
+        m.datapath(DatapathBlock(
+            "dct_dp", cells={"MUL": 96, "ADD": 220, "MUX": 110},
+            width=16, inputs=("nb",),
+            active_states=(("ctrl", "DCT"),),
+        ))
+        m.datapath(DatapathBlock(
+            "quant_dp", cells={"DIV": 16, "MUL": 16, "ADD": 40},
+            width=16, inputs=("nb",),
+            active_states=(("ctrl", "QUANT"),),
+        ))
+        m.datapath(DatapathBlock(
+            "huf_dp", cells={"ADD": 90, "XOR": 70, "SHL": 60, "MUX": 110},
+            width=16, inputs=("nnz",),
+            active_states=(("ctrl", "HUF"),),
+        ))
+        m.memory("pixel_buffer", depth=4096, width=32)
+
+        m.set_done(Sig("ctrl__state") == ctrl.code_of("DONE"))
+        return m.finalize()
+
+    def encode_job(self, image: Image) -> JobInput:
+        words = []
+        for strip in image.strips:
+            word = (strip.n_blocks & 0x3F
+                    | (strip.nnz_total & 0xFFF) << 6
+                    | (strip.noise & 0xF) << 18)
+            words.append(word)
+        return JobInput(
+            inputs={"n_strips": len(words)},
+            memories={"strips": words},
+            coarse_param=image.size_class,
+            meta={"image": image.index, "blocks": image.n_blocks},
+        )

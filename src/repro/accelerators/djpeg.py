@@ -1,0 +1,138 @@
+"""JPEG decoder accelerator (djpeg).
+
+Per strip: serial Huffman *decoding* — a dynamic wait, because the
+number of cycles a variable-length decode takes is only discoverable
+bit by bit; there is no counter holding it (this is the paper's djpeg
+error source: "some of the FSMs in the decoder stay in a state for a
+variable number of cycles which cannot be obtained using a
+corresponding counter").  It is marked feeds-control: the slice must
+genuinely perform the entropy decode to learn the coefficient counts
+downstream features use.
+
+After Huffman: dequantization (counter scales with coefficient count —
+architecturally known once entropy decoding finished), inverse DCT and
+color conversion (counters scale with block count).  Images with
+restart markers pay extra resynchronization cycles inside the dynamic
+wait — invisible to the features, so those jobs are systematically
+harder to predict, reproducing djpeg's wider error box in Fig 10.
+"""
+
+from __future__ import annotations
+
+from ..rtl import (
+    DatapathBlock,
+    Fsm,
+    MemRead,
+    Module,
+    Sig,
+    down_counter,
+    up_counter,
+)
+from ..units import MHZ
+from ..workloads.images import Image
+from .base import AcceleratorDesign, JobInput
+
+HUF_PER_BLOCK = 60
+HUF_PER_NNZ = 7
+HUF_PER_NOISE = 40            # invisible serial irregularity
+HUF_RESTART_PER_BLOCK = 80    # invisible resync cost on restart images
+DEQUANT_PER_BLOCK = 180
+DEQUANT_PER_NNZ = 6
+IDCT_PER_BLOCK = 760
+COLOR_PER_BLOCK = 240
+
+
+class JpegDecoder(AcceleratorDesign):
+    """JPEG decoder; one job decodes one image."""
+
+    name = "djpeg"
+    description = "JPEG decoder"
+    task_description = "Decode one image"
+    nominal_frequency = 250 * MHZ
+
+    def _build(self) -> Module:
+        m = Module("djpeg")
+        n_strips = m.port("n_strips", 8)
+        restart = m.port("restart", 1)
+        m.memory("strips", depth=64, width=24)
+
+        idx = m.reg("idx", 8)
+        word = m.wire("word", MemRead("strips", Sig("idx")), 24)
+        nb = m.wire("nb", Sig("word") & 0x3F, 6)
+        nnz = m.wire("nnz", (Sig("word") >> 6) & 0xFFF, 12)
+        noise = m.wire("noise", (Sig("word") >> 18) & 0xF, 4)
+
+        ctrl = Fsm("ctrl", initial="IDLE")
+        ctrl.transition("IDLE", "FETCH", cond=n_strips > 0)
+        ctrl.transition("FETCH", "HUF")
+        ctrl.transition("HUF", "DEQUANT")
+        ctrl.transition("DEQUANT", "IDCT")
+        ctrl.transition("IDCT", "COLOR")
+        ctrl.transition("COLOR", "FETCH", cond=idx < (n_strips - 1),
+                        actions=[("idx", idx + 1)])
+        ctrl.transition("COLOR", "DONE", actions=[("idx", idx + 1)])
+
+        huf_cycles = (Sig("nb") * HUF_PER_BLOCK
+                      + Sig("nnz") * HUF_PER_NNZ
+                      + Sig("noise") * HUF_PER_NOISE
+                      + restart * (Sig("nb") * HUF_RESTART_PER_BLOCK))
+        ctrl.dynamic_wait("HUF", huf_cycles, feeds_control=True)
+        ctrl.wait_state("DEQUANT", "c_dequant")
+        ctrl.wait_state("IDCT", "c_idct")
+        ctrl.wait_state("COLOR", "c_color")
+        m.fsm(ctrl)
+
+        m.counter(down_counter(
+            "c_dequant", load_cond=ctrl.arc_signal("HUF", "DEQUANT"),
+            load_value=(Sig("nb") * DEQUANT_PER_BLOCK
+                        + Sig("nnz") * DEQUANT_PER_NNZ),
+            width=16,
+        ))
+        m.counter(down_counter(
+            "c_idct", load_cond=ctrl.arc_signal("DEQUANT", "IDCT"),
+            load_value=Sig("nb") * IDCT_PER_BLOCK, width=16,
+        ))
+        m.counter(down_counter(
+            "c_color", load_cond=ctrl.arc_signal("IDCT", "COLOR"),
+            load_value=Sig("nb") * COLOR_PER_BLOCK, width=16,
+        ))
+        m.counter(up_counter(
+            "strips_done",
+            reset_cond=ctrl.arc_signal("COLOR", "DONE"),
+            enable=ctrl.entry_signal("COLOR"),
+            width=8,
+        ))
+
+        m.datapath(DatapathBlock(
+            "idct_dp", cells={"MUL": 128, "ADD": 340, "MUX": 160},
+            width=16, inputs=("nb",),
+            active_states=(("ctrl", "IDCT"),),
+        ))
+        m.datapath(DatapathBlock(
+            "dequant_dp", cells={"MUL": 32, "ADD": 60},
+            width=16, inputs=("nnz",),
+            active_states=(("ctrl", "DEQUANT"),),
+        ))
+        m.datapath(DatapathBlock(
+            "color_dp", cells={"MUL": 48, "ADD": 120, "MIN": 30, "MAX": 30},
+            width=16, inputs=("nb",),
+            active_states=(("ctrl", "COLOR"),),
+        ))
+        m.memory("frame_buffer", depth=12288, width=32)
+
+        m.set_done(Sig("ctrl__state") == ctrl.code_of("DONE"))
+        return m.finalize()
+
+    def encode_job(self, image: Image) -> JobInput:
+        words = []
+        for strip in image.strips:
+            word = (strip.n_blocks & 0x3F
+                    | (strip.nnz_total & 0xFFF) << 6
+                    | (strip.noise & 0xF) << 18)
+            words.append(word)
+        return JobInput(
+            inputs={"n_strips": len(words), "restart": int(image.restart)},
+            memories={"strips": words},
+            coarse_param=image.size_class,
+            meta={"image": image.index, "restart": image.restart},
+        )

@@ -1,0 +1,211 @@
+"""C-level models of the HLS-capable accelerators (md, stencil).
+
+The paper's Sec. 4.5 uses md and stencil "which have C versions
+available" to compare RTL-level slicing against program slicing of the
+C source followed by HLS.  These are those C versions, written in the
+mini-C IR of :mod:`repro.slicing.hls`: every candidate feature of the
+RTL design is computed as a program variable, so the same trained
+linear model runs on top of either slice.
+
+Variable names deliberately equal the RTL feature names — the
+correlation between C variables and RTL features is what an HLS flow's
+name preservation provides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..rtl.expr import Const, Mux, Sig, UnOp
+from ..slicing.hls import ELEM, Program, Statement
+from .md import (
+    FORCE_BASE,
+    FORCE_PER_NEIGHBOR,
+    INTEGRATE_PER_PARTICLE,
+    NLIST_PER_PARTICLE,
+)
+from .stencil import KERNEL_CPP, ROW_OVERHEAD, ROWS_PER_STRIP
+
+
+#: The nlist scan costs NLIST_PER_PARTICLE cycles per particle in RTL.
+NLIST_PER_NEIGHBOR_SCAN = NLIST_PER_PARTICLE
+
+
+def md_program() -> Tuple[Program, Dict[str, str]]:
+    """C version of the md accelerator's feature computation.
+
+    Params/arrays match the RTL job encoding: ``n_particles`` and the
+    neighbour-count array ``nlist``.
+    """
+    n = Sig("n_particles")
+    statements = (
+        Statement("stc:ctrl:IDLE->NLIST", Const(1)),
+        Statement("stc:ctrl:NLIST->FETCH", Const(1)),
+        Statement("stc:ctrl:FETCH->FORCE", n + 0),
+        Statement("stc:ctrl:FORCE->FETCH", n - 1),
+        Statement("stc:ctrl:FORCE->INTEGRATE", Const(1)),
+        Statement("stc:ctrl:INTEGRATE->DONE", Const(1)),
+        Statement("ic:c_nlist", Const(1)),
+        Statement("aivs:c_nlist", n * NLIST_PER_NEIGHBOR_SCAN),
+        Statement("ic:c_force", n + 0),
+        Statement("aivs:c_force",
+                  Const(FORCE_BASE) + Sig(ELEM) * FORCE_PER_NEIGHBOR,
+                  array="nlist"),
+        Statement("ic:c_integrate", Const(1)),
+        Statement("aivs:c_integrate", n * INTEGRATE_PER_PARTICLE),
+        Statement("ic:particles_done", Const(1)),
+        Statement("apvs:particles_done", n + 0),
+    )
+    program = Program(
+        name="md_c",
+        params=("n_particles",),
+        arrays=("nlist",),
+        statements=statements,
+    )
+    mapping = {s.target: s.target for s in statements}
+    return program, mapping
+
+
+def stencil_program() -> Tuple[Program, Dict[str, str]]:
+    """C version of the stencil accelerator's feature computation."""
+    rows = Sig("rows")
+    cols = Sig("cols")
+    kernel = Sig("kernel")
+    statements = (
+        Statement("cpp",
+                  Mux(kernel == 0, KERNEL_CPP[0],
+                      Mux(kernel == 1, KERNEL_CPP[1], KERNEL_CPP[2]))),
+        Statement("row_cost", cols * Sig("cpp") + ROW_OVERHEAD),
+        Statement("n_strips",
+                  (rows + (ROWS_PER_STRIP - 1)) // ROWS_PER_STRIP),
+        Statement("stc:ctrl:IDLE->SETUP", Const(1)),
+        Statement("stc:ctrl:SETUP->STRIP", Const(1)),
+        Statement("stc:ctrl:STRIP->FLUSH", Const(1)),
+        Statement("stc:ctrl:FLUSH->DONE", Const(1)),
+        Statement("ic:c_setup", Const(1)),
+        Statement("aivs:c_setup", ((rows * cols) >> 3) + 60),
+        Statement("ic:c_strip", Sig("n_strips") + 0),
+        # The hardware pads the last strip to a full ROWS_PER_STRIP, so
+        # total strip cycles round rows up to the strip granularity.
+        Statement("aivs:c_strip",
+                  Sig("n_strips") * ROWS_PER_STRIP * Sig("row_cost")),
+        Statement("ic:c_flush", Const(1)),
+        Statement("aivs:c_flush", cols * 2 + 90),
+        Statement("ic:strips_done", Const(1)),
+        Statement("apvs:strips_done", Sig("n_strips") + 0),
+    )
+    program = Program(
+        name="stencil_c",
+        params=("rows", "cols", "kernel"),
+        arrays=(),
+        statements=statements,
+    )
+    mapping = {
+        s.target: s.target for s in statements
+        if ":" in s.target  # expose features, not intermediates
+    }
+    return program, mapping
+
+
+def h264_program() -> Tuple[Program, Dict[str, str]]:
+    """C version of the H.264 decoder's feature computation.
+
+    Used by the *software predictor* extension (Sec. 4.5): decoders
+    with a software implementation (ffmpeg) can compute the features on
+    the CPU instead of in a hardware slice.  Each statement scans the
+    bitstream words and accumulates one feature.
+    """
+    from .h264 import (
+        DEBLOCK_BASE, DEBLOCK_PER_COEFF, PARSE_BASE, PARSE_PER_COEFF,
+        PARSE_PER_ENTROPY, PRELOAD_BASE, PRELOAD_PER_MVFRAC, RESIDUE_BASE,
+        RESIDUE_PER_COEFF, INTRA_BASE, INTRA_PER_COEFF, COMP_BASE,
+        COMP_QPEL_EXTRA, SKIP_MC_CYCLES,
+    )
+    e = Sig(ELEM)
+    mb_type = e & 0x3
+    n_coeffs = (e >> 2) & 0x7F
+    mv_frac = (e >> 9) & 0x3
+    entropy = (e >> 11) & 0x1F
+    is_skip = mb_type == 2
+    is_intra = mb_type == 0
+    is_inter = mb_type == 1
+    statements = (
+        Statement("stc:ctrl:IDLE->FETCH", Const(1)),
+        Statement("stc:ctrl:FETCH->PARSE", Const(1), array="bitstream"),
+        Statement("stc:ctrl:PARSE->ENTROPY", Const(1), array="bitstream"),
+        Statement("stc:ctrl:ENTROPY->SKIP_MC", is_skip + 0,
+                  array="bitstream"),
+        Statement("stc:ctrl:ENTROPY->RESIDUE", UnOp("not", is_skip) + 0,
+                  array="bitstream"),
+        Statement("stc:ctrl:RESIDUE->INTRA", is_intra + 0,
+                  array="bitstream"),
+        Statement("stc:ctrl:RESIDUE->PRELOAD", is_inter + 0,
+                  array="bitstream"),
+        Statement("stc:ctrl:INTRA->DEBLOCK", is_intra + 0,
+                  array="bitstream"),
+        Statement("stc:ctrl:PRELOAD->INTER_COMP", is_inter + 0,
+                  array="bitstream"),
+        Statement("stc:ctrl:INTER_COMP->DEBLOCK", is_inter + 0,
+                  array="bitstream"),
+        Statement("stc:ctrl:SKIP_MC->DEBLOCK", is_skip + 0,
+                  array="bitstream"),
+        Statement("stc:ctrl:DEBLOCK->FETCH", Sig("n_mbs") - 1),
+        Statement("stc:ctrl:DEBLOCK->DONE", Const(1)),
+        Statement("ic:c_parse", Const(1), array="bitstream"),
+        Statement("aivs:c_parse",
+                  Const(PARSE_BASE) + n_coeffs * PARSE_PER_COEFF
+                  + entropy * PARSE_PER_ENTROPY,
+                  array="bitstream"),
+        Statement("ic:c_residue", UnOp("not", is_skip) + 0,
+                  array="bitstream"),
+        Statement("aivs:c_residue",
+                  Mux(is_skip, 0,
+                      Const(RESIDUE_BASE) + n_coeffs * RESIDUE_PER_COEFF),
+                  array="bitstream"),
+        Statement("ic:c_intra", is_intra + 0, array="bitstream"),
+        Statement("aivs:c_intra",
+                  Mux(is_intra,
+                      Const(INTRA_BASE) + n_coeffs * INTRA_PER_COEFF, 0),
+                  array="bitstream"),
+        Statement("ic:c_preload", is_inter + 0, array="bitstream"),
+        Statement("aivs:c_preload",
+                  Mux(is_inter,
+                      Const(PRELOAD_BASE) + mv_frac * PRELOAD_PER_MVFRAC,
+                      0),
+                  array="bitstream"),
+        Statement("ic:c_comp", is_inter + 0, array="bitstream"),
+        Statement("aivs:c_comp",
+                  Mux(is_inter,
+                      Const(COMP_BASE) + (mv_frac == 2) * COMP_QPEL_EXTRA,
+                      0),
+                  array="bitstream"),
+        Statement("ic:c_skip", is_skip + 0, array="bitstream"),
+        Statement("aivs:c_skip", Mux(is_skip, SKIP_MC_CYCLES, 0),
+                  array="bitstream"),
+        Statement("ic:c_deblock", Const(1), array="bitstream"),
+        Statement("aivs:c_deblock",
+                  Const(DEBLOCK_BASE) + n_coeffs * DEBLOCK_PER_COEFF,
+                  array="bitstream"),
+        Statement("ic:mbs_done", Const(1)),
+        Statement("apvs:mbs_done", Sig("n_mbs") + 0),
+    )
+    program = Program(
+        name="h264_c",
+        params=("n_mbs",),
+        arrays=("bitstream",),
+        statements=statements,
+    )
+    mapping = {s.target: s.target for s in statements}
+    return program, mapping
+
+
+HLS_PROGRAMS = {
+    "md": md_program,
+    "stencil": stencil_program,
+}
+
+SOFTWARE_PROGRAMS = {
+    "h264": h264_program,
+    "md": md_program,
+    "stencil": stencil_program,
+}

@@ -1,0 +1,108 @@
+"""Molecular dynamics accelerator (from MachSuite).
+
+One job simulates one timestep: build the neighbour list (a
+feeds-control phase — it produces the per-particle neighbour counts
+the control loop and the prediction features depend on), then for each
+particle run the force pipeline for a number of cycles proportional to
+its neighbour count, then integrate positions.
+
+Job time tracks total neighbour pairs, which drifts slowly between
+timesteps with occasional cluster-merge jumps — the workload where
+reactive DVFS is *almost* viable, but spikes still cause misses.
+"""
+
+from __future__ import annotations
+
+from ..rtl import (
+    DatapathBlock,
+    Fsm,
+    MemRead,
+    Module,
+    Sig,
+    down_counter,
+    up_counter,
+)
+from ..units import MHZ
+from ..workloads.particles import N_PARTICLES, Timestep
+from .base import AcceleratorDesign, JobInput
+
+NLIST_PER_PARTICLE = 890   # O(N^2/2) distance checks (feeds control)
+FORCE_BASE = 220
+FORCE_PER_NEIGHBOR = 84
+INTEGRATE_PER_PARTICLE = 40
+
+
+class MolecularDynamics(AcceleratorDesign):
+    """MD accelerator; one job simulates one timestep."""
+
+    name = "md"
+    description = "Molecules/physics simulation"
+    task_description = "Simulate one timestep"
+    nominal_frequency = 455 * MHZ
+
+    def _build(self) -> Module:
+        m = Module("md")
+        n_particles = m.port("n_particles", 10)
+        m.memory("nlist", depth=N_PARTICLES, width=10)
+
+        idx = m.reg("idx", 10)
+        neighbors = m.wire("neighbors", MemRead("nlist", Sig("idx")), 10)
+
+        ctrl = Fsm("ctrl", initial="IDLE")
+        ctrl.transition("IDLE", "NLIST", cond=n_particles > 0)
+        ctrl.transition("NLIST", "FETCH")
+        ctrl.transition("FETCH", "FORCE")
+        ctrl.transition("FORCE", "FETCH", cond=idx < (n_particles - 1),
+                        actions=[("idx", idx + 1)])
+        ctrl.transition("FORCE", "INTEGRATE", actions=[("idx", idx + 1)])
+        ctrl.transition("INTEGRATE", "DONE")
+
+        ctrl.wait_state("NLIST", "c_nlist", feeds_control=True)
+        ctrl.wait_state("FORCE", "c_force")
+        ctrl.wait_state("INTEGRATE", "c_integrate")
+        m.fsm(ctrl)
+
+        m.counter(down_counter(
+            "c_nlist", load_cond=ctrl.arc_signal("IDLE", "NLIST"),
+            load_value=n_particles * NLIST_PER_PARTICLE, width=20,
+        ))
+        m.counter(down_counter(
+            "c_force", load_cond=ctrl.arc_signal("FETCH", "FORCE"),
+            load_value=FORCE_BASE + Sig("neighbors") * FORCE_PER_NEIGHBOR,
+            width=18,
+        ))
+        m.counter(down_counter(
+            "c_integrate",
+            load_cond=ctrl.entry_signal("INTEGRATE"),
+            load_value=n_particles * INTEGRATE_PER_PARTICLE, width=16,
+        ))
+        m.counter(up_counter(
+            "particles_done",
+            reset_cond=ctrl.arc_signal("INTEGRATE", "DONE"),
+            enable=ctrl.entry_signal("FORCE"),
+            width=10,
+        ))
+
+        m.datapath(DatapathBlock(
+            "force_dp", cells={"MUL": 7, "ADD": 12, "DIV": 1},
+            width=32, inputs=("neighbors",),
+            active_states=(("ctrl", "FORCE"),),
+        ))
+        m.datapath(DatapathBlock(
+            "integrate_dp", cells={"MUL": 4, "ADD": 8},
+            width=32, inputs=("n_particles",),
+            active_states=(("ctrl", "INTEGRATE"),),
+        ))
+        m.memory("positions", depth=512, width=32)
+
+        m.set_done(Sig("ctrl__state") == ctrl.code_of("DONE"))
+        return m.finalize()
+
+    def encode_job(self, step: Timestep) -> JobInput:
+        counts = list(step.neighbor_counts)
+        return JobInput(
+            inputs={"n_particles": len(counts)},
+            memories={"nlist": counts},
+            coarse_param=0,  # fixed particle count
+            meta={"step": step.index, "pairs": step.total_pairs},
+        )

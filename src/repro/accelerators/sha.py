@@ -1,0 +1,99 @@
+"""SHA-256 hash accelerator.
+
+One job hashes one data piece.  The message is consumed in batches of
+256 64-byte blocks, each block taking the 64-round compression plus
+message-schedule overhead; a final padding/digest stage closes the
+job.  Job time is linear in message length — trivially predictable by
+the framework, hostile to reactive control because sizes are
+uncorrelated piece to piece.
+"""
+
+from __future__ import annotations
+
+from ..rtl import (
+    DatapathBlock,
+    Fsm,
+    Module,
+    Sig,
+    down_counter,
+    minimum,
+    up_counter,
+)
+from ..units import MHZ
+from ..workloads.datastream import DataPiece
+from .base import AcceleratorDesign, JobInput
+
+BATCH_CHUNKS = 256
+DESC_SCAN_BASE = 1400        # descriptor walk (feeds control)
+CYCLES_PER_CHUNK = 81        # 64 rounds + schedule + state update
+FINAL_CYCLES = 1200          # padding + digest output
+
+
+class ShaAccelerator(AcceleratorDesign):
+    """SHA-256 engine; one job hashes one piece of data."""
+
+    name = "sha"
+    description = "Secure Hash Function"
+    task_description = "Hash a piece of data"
+    nominal_frequency = 500 * MHZ
+
+    def _build(self) -> Module:
+        m = Module("sha")
+        n_chunks = m.port("n_chunks", 20)
+
+        chunks_left = m.reg("chunks_left", 20)
+        batch = m.wire(
+            "batch", minimum(Sig("chunks_left"), BATCH_CHUNKS), 10)
+
+        ctrl = Fsm("ctrl", initial="IDLE")
+        ctrl.transition("IDLE", "DESC", cond=n_chunks > 0,
+                        actions=[("chunks_left", n_chunks)])
+        ctrl.transition("DESC", "COMPRESS")
+        ctrl.transition(
+            "COMPRESS", "COMPRESS", cond=chunks_left > BATCH_CHUNKS,
+            actions=[("chunks_left", chunks_left - BATCH_CHUNKS)])
+        ctrl.transition("COMPRESS", "FINAL", actions=[("chunks_left", 0)])
+        ctrl.transition("FINAL", "DONE")
+
+        ctrl.wait_state("DESC", "c_desc", feeds_control=True)
+        ctrl.wait_state("COMPRESS", "c_compress")
+        ctrl.wait_state("FINAL", "c_final")
+        m.fsm(ctrl)
+
+        m.counter(down_counter(
+            "c_desc", load_cond=ctrl.arc_signal("IDLE", "DESC"),
+            load_value=DESC_SCAN_BASE + n_chunks * 2, width=18,
+        ))
+        m.counter(down_counter(
+            "c_compress", load_cond=ctrl.entry_signal("COMPRESS"),
+            load_value=Sig("batch") * CYCLES_PER_CHUNK, width=18,
+        ))
+        m.counter(down_counter(
+            "c_final", load_cond=ctrl.arc_signal("COMPRESS", "FINAL"),
+            load_value=FINAL_CYCLES, width=12,
+        ))
+        m.counter(up_counter(
+            "batches_done",
+            reset_cond=ctrl.arc_signal("FINAL", "DONE"),
+            enable=ctrl.entry_signal("COMPRESS"),
+            width=10,
+        ))
+
+        m.datapath(DatapathBlock(
+            "round_dp", cells={"ADD": 44, "XOR": 60, "SHR": 22,
+                               "MUX": 24},
+            width=32, inputs=("batch",),
+            active_states=(("ctrl", "COMPRESS"),),
+        ))
+        m.memory("msg_buffer", depth=256, width=32)
+
+        m.set_done(Sig("ctrl__state") == ctrl.code_of("DONE"))
+        return m.finalize()
+
+    def encode_job(self, piece: DataPiece) -> JobInput:
+        return JobInput(
+            inputs={"n_chunks": piece.sha_chunks},
+            memories={},
+            coarse_param=piece.size_class,
+            meta={"piece": piece.index, "bytes": piece.n_bytes},
+        )

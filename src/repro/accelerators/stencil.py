@@ -1,0 +1,114 @@
+"""Stencil image-filtering accelerator (from MachSuite).
+
+Filters an image in 8-row strips; the per-strip cycle count scales
+with the image width and the selected kernel (3x3 box, 5x5 gaussian,
+3x3 sharpen).  Almost all area is in the MAC array (DSP blocks on
+FPGA), which is why the paper's Fig 17 notes the *relative* slice
+resource overhead of stencil looks large: the control logic is tiny.
+
+Execution time is a near-deterministic function of (rows, cols,
+kernel), so prediction is essentially exact — stencil's error box in
+Fig 10 is a sliver.
+"""
+
+from __future__ import annotations
+
+from ..rtl import (
+    DatapathBlock,
+    Fsm,
+    Module,
+    Sig,
+    down_counter,
+    minimum,
+    up_counter,
+)
+from ..units import MHZ
+from ..workloads.images import RawImage
+from .base import AcceleratorDesign, JobInput
+
+ROWS_PER_STRIP = 8
+ROW_OVERHEAD = 120   # boundary handling per row
+#: Cycles per pixel per kernel (index = kernel id).
+KERNEL_CPP = (10, 16, 12)
+
+
+class StencilFilter(AcceleratorDesign):
+    """Stencil filter; one job filters one image."""
+
+    name = "stencil"
+    description = "Image filtering (stencil)"
+    task_description = "Filter one image"
+    nominal_frequency = 602 * MHZ
+
+    def _build(self) -> Module:
+        m = Module("stencil")
+        rows = m.port("rows", 12)
+        cols = m.port("cols", 12)
+        kernel = m.port("kernel", 2)
+
+        rows_left = m.reg("rows_left", 12)
+        cpp = m.wire(
+            "cpp",
+            (kernel == 0) * KERNEL_CPP[0]
+            + (kernel == 1) * KERNEL_CPP[1]
+            + (kernel == 2) * KERNEL_CPP[2],
+            8,
+        )
+        row_cost = m.wire("row_cost", cols * Sig("cpp") + ROW_OVERHEAD, 16)
+        strip_rows = m.wire(
+            "strip_rows", minimum(Sig("rows_left"), ROWS_PER_STRIP), 4)
+
+        ctrl = Fsm("ctrl", initial="IDLE")
+        ctrl.transition("IDLE", "SETUP", cond=rows > 0,
+                        actions=[("rows_left", rows)])
+        ctrl.transition("SETUP", "STRIP")
+        ctrl.transition(
+            "STRIP", "STRIP", cond=rows_left > ROWS_PER_STRIP,
+            actions=[("rows_left", rows_left - ROWS_PER_STRIP)])
+        ctrl.transition("STRIP", "FLUSH", actions=[("rows_left", 0)])
+        ctrl.transition("FLUSH", "DONE")
+
+        ctrl.wait_state("SETUP", "c_setup", feeds_control=True)
+        ctrl.wait_state("STRIP", "c_strip")
+        ctrl.wait_state("FLUSH", "c_flush")
+        m.fsm(ctrl)
+
+        m.counter(down_counter(
+            "c_setup", load_cond=ctrl.arc_signal("IDLE", "SETUP"),
+            load_value=(rows * cols >> 3) + 60, width=20,
+        ))
+        strip_entry = ctrl.entry_signal("STRIP")
+        m.counter(down_counter(
+            "c_strip", load_cond=strip_entry,
+            load_value=Sig("strip_rows") * Sig("row_cost"),
+            width=20,
+        ))
+        m.counter(down_counter(
+            "c_flush", load_cond=ctrl.arc_signal("STRIP", "FLUSH"),
+            load_value=cols * 2 + 90, width=16,
+        ))
+        m.counter(up_counter(
+            "strips_done",
+            reset_cond=ctrl.arc_signal("FLUSH", "DONE"),
+            enable=strip_entry,
+            width=10,
+        ))
+
+        m.datapath(DatapathBlock(
+            "mac_array", cells={"MUL": 9, "ADD": 10, "MUX": 6},
+            width=16, inputs=("cpp",),
+            active_states=(("ctrl", "STRIP"),),
+        ))
+        m.memory("line_buffer", depth=128, width=32)
+
+        m.set_done(Sig("ctrl__state") == ctrl.code_of("DONE"))
+        return m.finalize()
+
+    def encode_job(self, image: RawImage) -> JobInput:
+        return JobInput(
+            inputs={"rows": image.rows, "cols": image.cols,
+                    "kernel": image.kernel},
+            memories={},
+            coarse_param=image.size_class,
+            meta={"image": image.index, "kernel": image.kernel},
+        )

@@ -1,0 +1,21 @@
+"""Static analysis: FSM/counter detection, features, instrumentation."""
+
+from .counter_detect import DetectedCounter, detect_counters
+from .coverage import VisibilityReport, visibility_report
+from .depgraph import probe_nets
+from .features import FeatureMatrix, FeatureSet, FeatureSpec
+from .fsm_detect import DetectedFsm, DetectedTransition, detect_fsms
+from .instrument import (
+    FeatureRecorder,
+    build_feature_set,
+    discover_features,
+    record_jobs,
+)
+
+__all__ = [
+    "DetectedCounter", "DetectedFsm", "DetectedTransition",
+    "FeatureMatrix", "FeatureRecorder", "FeatureSet", "FeatureSpec",
+    "VisibilityReport", "build_feature_set", "detect_counters",
+    "detect_fsms", "discover_features", "probe_nets", "record_jobs",
+    "visibility_report",
+]

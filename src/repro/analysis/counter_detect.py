@@ -1,0 +1,115 @@
+"""Structural counter identification from a synthesized netlist.
+
+Counters are found the same way FSMs are (Sec. 3.3 of the paper):
+pattern matching on the cell structure feeding a DFF.
+
+Down counter shape::
+
+    DFF <- MUX(load_sel, load_value,
+               MUX(tick_sel, SUB(self, const_step), self))
+
+where ``tick_sel``'s cone contains a ``self > 0`` compare.
+
+Up counter shape::
+
+    DFF <- MUX(reset_sel, const_0, ADD(self, const_step))
+    DFF <- MUX(reset_sel, const_0, MUX(en, ADD(self, const_step), self))
+
+Registers that merely accumulate variable amounts (``acc += x``) do not
+match (the step is not constant), mirroring the paper's observation
+that only genuine counters carry latency information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..rtl.netlist import Cell, Netlist
+
+
+@dataclass(frozen=True)
+class DetectedCounter:
+    """A counter recovered from netlist structure."""
+
+    net: str
+    mode: str  # "down" | "up"
+    step: int
+    load_cond_net: str   # load (down) or reset (up) select net
+    load_value_net: str  # loaded value net (down) / zero const (up)
+
+
+def _const_value(netlist: Netlist, net: str) -> Optional[int]:
+    cell = netlist.driver(net)
+    if cell is not None and cell.kind == "CONST":
+        return cell.param
+    return None
+
+
+def _is_step(netlist: Netlist, net: str, self_net: str,
+             kind: str) -> Optional[int]:
+    """If ``net`` is ``self +/- const``, return the constant step."""
+    cell = netlist.driver(net)
+    if cell is None or cell.kind != kind:
+        return None
+    a, b = cell.fanin
+    if a != self_net:
+        return None
+    return _const_value(netlist, b)
+
+
+def _cone_has_gt_zero(netlist: Netlist, select_net: str,
+                      self_net: str) -> bool:
+    for cell in netlist.comb_cone(select_net):
+        if cell.kind == "GT" and cell.fanin[0] == self_net:
+            if _const_value(netlist, cell.fanin[1]) == 0:
+                return True
+    return False
+
+
+def detect_counters(netlist: Netlist) -> List[DetectedCounter]:
+    """Find all counters in the netlist."""
+    found: List[DetectedCounter] = []
+    for dff in netlist.cells_of_kind("DFF"):
+        counter = _match_counter(netlist, dff)
+        if counter is not None:
+            found.append(counter)
+    return found
+
+
+def _match_counter(netlist: Netlist, dff: Cell) -> Optional[DetectedCounter]:
+    out = dff.out
+    top = netlist.driver(dff.fanin[0])
+    if top is None or top.kind != "MUX":
+        return None
+    load_sel, load_val, inner_net = top.fanin
+
+    # -- down counter ----------------------------------------------------
+    inner = netlist.driver(inner_net)
+    if inner is not None and inner.kind == "MUX":
+        tick_sel, dec_net, hold = inner.fanin
+        step = _is_step(netlist, dec_net, out, "SUB")
+        if (step is not None and hold == out
+                and _cone_has_gt_zero(netlist, tick_sel, out)):
+            return DetectedCounter(
+                net=out, mode="down", step=step,
+                load_cond_net=load_sel, load_value_net=load_val,
+            )
+        # -- gated up counter: MUX(reset, 0, MUX(en, ADD, self)) --------
+        step = _is_step(netlist, dec_net, out, "ADD")
+        if (step is not None and hold == out
+                and _const_value(netlist, load_val) == 0):
+            return DetectedCounter(
+                net=out, mode="up", step=step,
+                load_cond_net=load_sel, load_value_net=load_val,
+            )
+        return None
+
+    # -- free-running up counter: MUX(reset, 0, ADD(self, step)) ---------
+    step = _is_step(netlist, inner_net, out, "ADD")
+    if step is not None and _const_value(netlist, load_val) == 0:
+        return DetectedCounter(
+            net=out, mode="up", step=step,
+            load_cond_net=load_sel, load_value_net=load_val,
+        )
+    return None

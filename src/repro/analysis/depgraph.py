@@ -1,0 +1,63 @@
+"""Dependence-graph helpers bridging features and netlist cells.
+
+The slicer needs to know which nets "carry" each feature:
+
+* an ``stc`` feature is probed at its transition-criteria net;
+* ``ic``/``aivs`` features need the counter's load condition and load
+  value nets (the instrumentation registers hang off those);
+* ``apvs`` features need the counter's own DFF output (the pre-reset
+  value is the register content) plus the reset condition net.
+
+``probe_nets`` resolves a feature list to those nets on a given
+netlist; the slicer then takes the backward fan-in closure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from ..rtl.module import Module
+from ..rtl.netlist import Netlist
+from .features import FeatureSpec
+
+
+def probe_nets(module: Module, netlist: Netlist,
+               features: Iterable[FeatureSpec]) -> Set[str]:
+    """Nets whose values must be computable to measure ``features``."""
+    nets: Set[str] = set()
+    counter_nets = _counter_io_nets(netlist)
+    for spec in features:
+        if spec.kind == "stc":
+            fsm = module.fsms.get(spec.source)
+            if fsm is None:
+                raise KeyError(f"unknown FSM {spec.source!r}")
+            sig = fsm.arc_signal(spec.src_state, spec.dst_state)
+            nets.add(sig.name)
+        elif spec.kind in ("ic", "aivs"):
+            load_cond, load_value = counter_nets[spec.source]
+            nets.add(load_cond)
+            nets.add(load_value)
+        elif spec.kind == "apvs":
+            load_cond, _ = counter_nets[spec.source]
+            nets.add(load_cond)
+            nets.add(spec.source)  # the counter DFF output itself
+        else:  # pragma: no cover - FeatureSpec validates kinds
+            raise ValueError(spec.kind)
+    return nets
+
+
+def _counter_io_nets(netlist: Netlist) -> Dict[str, tuple]:
+    """Map counter name -> (load condition net, load value net).
+
+    Reads the canonical load-mux emitted by the synthesizer: the
+    outermost mux feeding the counter DFF carries (sel, value, hold).
+    """
+    table: Dict[str, tuple] = {}
+    for dff in netlist.cells_of_kind("DFF"):
+        if dff.provenance.construct != "counter":
+            continue
+        load_mux = netlist.driver(dff.fanin[0])
+        if load_mux is None or load_mux.kind != "MUX":
+            continue
+        table[dff.out] = (load_mux.fanin[0], load_mux.fanin[1])
+    return table

@@ -1,0 +1,124 @@
+"""Structural FSM identification from a synthesized netlist.
+
+Implements the reproduction of the paper's first analysis step
+(Sec. 3.3): "use an algorithm to find FSMs in the design based on
+techniques from a previous study [24] on extracting FSMs from a
+gate-level netlist.  The algorithm works by analyzing the RTL and
+looking for specific structures related to FSMs."
+
+The structure looked for is the classic state-register shape:
+
+* a DFF whose next-value logic is a chain of 2:1 muxes ending in the
+  DFF's own output (the hold path);
+* every mux data input is a constant (a state code);
+* every mux select's combinational cone contains an equality compare
+  of the DFF's *own output* against a constant (the source state).
+
+The self-dependence requirement is the discriminator that rejects
+ordinary registers (e.g. flags loaded with constants under conditions
+gated on *another* FSM's state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..rtl.netlist import Cell, Netlist
+
+
+@dataclass(frozen=True)
+class DetectedTransition:
+    """One extracted arc: state codes plus the criteria (select) net."""
+
+    src_code: int
+    dst_code: int
+    criteria_net: str
+
+
+@dataclass(frozen=True)
+class DetectedFsm:
+    """An FSM recovered from netlist structure."""
+
+    state_net: str
+    codes: Tuple[int, ...]
+    transitions: Tuple[DetectedTransition, ...]
+
+    @property
+    def n_states(self) -> int:
+        return len(self.codes)
+
+
+def _const_value(netlist: Netlist, net: str) -> Optional[int]:
+    cell = netlist.driver(net)
+    if cell is not None and cell.kind == "CONST":
+        return cell.param
+    return None
+
+
+def _self_compare_codes(netlist: Netlist, select_net: str,
+                        dff_out: str) -> List[int]:
+    """Constants compared (EQ) against ``dff_out`` inside a select cone."""
+    codes: List[int] = []
+    for cell in netlist.comb_cone(select_net):
+        if cell.kind != "EQ":
+            continue
+        a, b = cell.fanin
+        if a == dff_out:
+            value = _const_value(netlist, b)
+        elif b == dff_out:
+            value = _const_value(netlist, a)
+        else:
+            continue
+        if value is not None:
+            codes.append(value)
+    return codes
+
+
+def detect_fsms(netlist: Netlist) -> List[DetectedFsm]:
+    """Find all state registers and extract their transition tables."""
+    found: List[DetectedFsm] = []
+    for dff in netlist.cells_of_kind("DFF"):
+        fsm = _match_state_register(netlist, dff)
+        if fsm is not None:
+            found.append(fsm)
+    return found
+
+
+def _match_state_register(netlist: Netlist,
+                          dff: Cell) -> Optional[DetectedFsm]:
+    out = dff.out
+    net = dff.fanin[0]
+    levels: List[Tuple[str, int]] = []  # (select net, dst code)
+    while True:
+        cell = netlist.driver(net)
+        if cell is None:
+            return None
+        if cell.kind != "MUX":
+            break
+        select, data, fallthrough = cell.fanin
+        dst = _const_value(netlist, data)
+        if dst is None:
+            return None  # a non-constant next state: not an FSM register
+        levels.append((select, dst))
+        net = fallthrough
+    if net != out or not levels:
+        return None  # chain must terminate in the hold path
+
+    transitions: List[DetectedTransition] = []
+    codes: Set[int] = set()
+    for select, dst in levels:
+        srcs = _self_compare_codes(netlist, select, out)
+        if not srcs:
+            return None  # select does not depend on own state: not an FSM
+        # Exactly one self-compare per criteria in synthesized designs;
+        # tolerate several by emitting one arc per source.
+        for src in srcs:
+            transitions.append(DetectedTransition(src, dst, select))
+            codes.add(src)
+        codes.add(dst)
+    return DetectedFsm(
+        state_net=out,
+        codes=tuple(sorted(codes)),
+        transitions=tuple(transitions),
+    )

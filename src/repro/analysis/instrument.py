@@ -1,0 +1,150 @@
+"""Instrumentation: turning detections into recordable features.
+
+``build_feature_set`` correlates the *structurally* detected FSMs and
+counters with the behavioural module (netlist nets keep their RTL
+names, exactly as Yosys-based flows preserve them) and emits one
+feature spec per instrumentable quantity.  Detections that do not map
+back to a behavioural construct (structural false positives) are
+dropped, and real FSMs/counters missed by detection simply yield no
+features — both situations degrade prediction rather than break it,
+matching the paper's djpeg discussion.
+
+``FeatureRecorder`` is the runtime half: a simulator listener that
+accumulates the per-job feature vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..rtl.module import Module
+from ..rtl.netlist import Netlist
+from ..rtl.simulator import Listener, Simulation
+from .counter_detect import DetectedCounter, detect_counters
+from .features import FeatureMatrix, FeatureSet, FeatureSpec
+from .fsm_detect import DetectedFsm, detect_fsms
+
+
+def build_feature_set(
+    module: Module,
+    detected_fsms: Sequence[DetectedFsm],
+    detected_counters: Sequence[DetectedCounter],
+) -> FeatureSet:
+    """Map detections onto the behavioural module and emit specs."""
+    specs: List[FeatureSpec] = []
+    fsm_by_state_net = {
+        fsm.state_signal: fsm for fsm in module.fsms.values()
+    }
+    for det in detected_fsms:
+        fsm = fsm_by_state_net.get(det.state_net)
+        if fsm is None:
+            continue  # structural false positive: not a named FSM
+        code_to_state = {code: name for name, code in fsm.states.items()}
+        seen: set = set()
+        for t in det.transitions:
+            if t.src_code == t.dst_code:
+                continue  # hold artifacts (e.g. dynamic-wait stay arcs)
+            src = code_to_state.get(t.src_code)
+            dst = code_to_state.get(t.dst_code)
+            if src is None or dst is None:
+                continue
+            key = (fsm.name, src, dst)
+            if key in seen:
+                continue
+            seen.add(key)
+            specs.append(FeatureSpec("stc", fsm.name, src, dst))
+    for det in detected_counters:
+        if det.net not in module.counters:
+            continue  # structural false positive
+        mode = module.counters[det.net].mode
+        if det.mode != mode:
+            continue  # mis-detected polarity; do not trust it
+        specs.append(FeatureSpec("ic", det.net))
+        if mode == "down":
+            specs.append(FeatureSpec("aivs", det.net))
+        else:
+            specs.append(FeatureSpec("apvs", det.net))
+    return FeatureSet(specs)
+
+
+def discover_features(module: Module, netlist: Netlist) -> FeatureSet:
+    """Full offline detection step: netlist analysis -> feature set."""
+    return build_feature_set(
+        module, detect_fsms(netlist), detect_counters(netlist))
+
+
+class FeatureRecorder(Listener):
+    """Simulator listener accumulating one job's feature vector."""
+
+    def __init__(self, feature_set: FeatureSet):
+        self.feature_set = feature_set
+        self._values = np.zeros(len(feature_set), dtype=float)
+
+    def start_job(self) -> None:
+        """Clear the accumulator before a new job."""
+        self._values[:] = 0.0
+
+    def on_transition(self, fsm: str, src: str, dst: str) -> None:
+        """Count a state transition (STC features)."""
+        idx = self.feature_set.stc_index.get((fsm, src, dst))
+        if idx is not None:
+            self._values[idx] += 1.0
+
+    def on_counter_load(self, counter: str, value: int) -> None:
+        """Record a down-counter load (IC and AIV-sum features)."""
+        idx = self.feature_set.ic_index.get(counter)
+        if idx is not None:
+            self._values[idx] += 1.0
+        idx = self.feature_set.aivs_index.get(counter)
+        if idx is not None:
+            self._values[idx] += float(value)
+
+    def on_counter_reset(self, counter: str, value: int) -> None:
+        """Record an up-counter reset (IC and APV-sum features)."""
+        idx = self.feature_set.ic_index.get(counter)
+        if idx is not None:
+            self._values[idx] += 1.0
+        idx = self.feature_set.apvs_index.get(counter)
+        if idx is not None:
+            self._values[idx] += float(value)
+
+    def vector(self) -> np.ndarray:
+        """The job's feature vector accumulated so far."""
+        return self._values.copy()
+
+
+def record_jobs(
+    module: Module,
+    feature_set: FeatureSet,
+    jobs: Iterable[Tuple[Dict[str, int], Dict[str, Sequence[int]]]],
+    max_cycles: int = 200_000_000,
+    ignore_unknown_inputs: bool = False,
+) -> FeatureMatrix:
+    """Run ``jobs`` (port dict, memory dict pairs) on an instrumented
+    simulation and collect features plus execution cycles.
+
+    This is the offline "RTL simulation with a training set" step of
+    Figure 6 in the paper.  ``ignore_unknown_inputs`` permits feeding
+    full-design jobs into a hardware slice that dropped some inputs.
+    """
+    recorder = FeatureRecorder(feature_set)
+    sim = Simulation(module, listener=recorder, track_state_cycles=False)
+    rows: List[np.ndarray] = []
+    cycles: List[int] = []
+    for inputs, memories in jobs:
+        sim.reset()
+        recorder.start_job()
+        sim.load(inputs=inputs, memories=memories,
+                 ignore_unknown=ignore_unknown_inputs)
+        result = sim.run(max_cycles=max_cycles)
+        if not result.finished:
+            raise RuntimeError(
+                f"job did not finish within {max_cycles} cycles on "
+                f"{module.name}"
+            )
+        rows.append(recorder.vector())
+        cycles.append(result.cycles)
+    x = np.vstack(rows) if rows else np.zeros((0, len(feature_set)))
+    return FeatureMatrix(feature_set, x, np.asarray(cycles, dtype=float))

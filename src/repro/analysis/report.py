@@ -1,0 +1,60 @@
+"""Human-readable reports of the analysis stage.
+
+``detection_report`` renders what the structural analysis found in a
+design — the FSMs with their transition tables, the counters with
+their polarity, and the derived feature inventory — the way a designer
+would inspect the paper's flow before trusting its instrumentation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..rtl.module import Module
+from ..rtl.netlist import Netlist
+from ..rtl import tech
+from .counter_detect import detect_counters
+from .fsm_detect import detect_fsms
+from .instrument import build_feature_set
+
+
+def detection_report(module: Module, netlist: Netlist) -> str:
+    """Render the detection results for one design."""
+    fsms = detect_fsms(netlist)
+    counters = detect_counters(netlist)
+    features = build_feature_set(module, fsms, counters)
+
+    lines: List[str] = []
+    out = lines.append
+    out(f"design {module.name}")
+    out(f"  netlist: {len(netlist)} cells, "
+        f"{tech.asic_area(netlist):,.0f} um^2 ASIC")
+
+    fsm_by_net = {f.state_net: f for f in fsms}
+    out(f"  FSMs detected: {len(fsms)}")
+    for fsm in module.fsms.values():
+        det = fsm_by_net.get(fsm.state_signal)
+        mark = "ok" if det is not None else "MISSED"
+        out(f"    {fsm.name} [{mark}]: {len(fsm.states)} states, "
+            f"{len(fsm.transitions)} arcs")
+        code_to_state = {c: s for s, c in fsm.states.items()}
+        if det is not None:
+            for t in det.transitions:
+                src = code_to_state.get(t.src_code, f"#{t.src_code}")
+                dst = code_to_state.get(t.dst_code, f"#{t.dst_code}")
+                tag = " (self)" if t.src_code == t.dst_code else ""
+                out(f"      {src} -> {dst}{tag}")
+
+    counter_by_net = {c.net: c for c in counters}
+    out(f"  counters detected: {len(counters)}")
+    for counter in module.counters.values():
+        det = counter_by_net.get(counter.name)
+        mark = det.mode if det is not None else "MISSED"
+        out(f"    {counter.name}: {mark}, step {counter.step}")
+
+    kinds = {}
+    for spec in features:
+        kinds[spec.kind] = kinds.get(spec.kind, 0) + 1
+    out(f"  candidate features: {len(features)} "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(kinds.items()))})")
+    return "\n".join(lines)

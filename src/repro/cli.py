@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — benchmarks and experiment ids;
+* ``describe <benchmark>`` — structural detection report + timing stats;
+* ``experiment <id> [--scale S]`` — regenerate one table/figure;
+* ``verilog <benchmark> [-o FILE]`` — export a design as Verilog;
+* ``predict <benchmark> [--scale S] [--jobs N]`` — train a predictor
+  and show per-job predictions (the quickstart, from the shell).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .accelerators import ALL_DESIGNS, get_design
+from .workloads import workload_for
+
+#: Experiment id -> (module name, runner kwargs).  Resolved lazily so
+#: `repro list` stays fast.
+EXPERIMENTS = {
+    "table3": "table3",
+    "table4": "table4",
+    "fig2": "fig02_variation",
+    "fig3": "fig03_pid",
+    "fig10": "fig10_errors",
+    "fig11": "fig11_schemes",
+    "fig12": "fig12_overheads",
+    "fig13": "fig13_oracle",
+    "fig14": "fig14_boost",
+    "fig15": "fig15_deadlines",
+    "fig16": "fig16_fpga",
+    "fig17": "fig12_overheads",   # tech="fpga"
+    "fig18": "fig18_hls",
+    "fig19": "fig18_hls",
+    "case-study": "case_study",
+    "all-schemes": "ext_all_schemes",
+    "multires": "ext_resolutions",
+    "taxonomy": "ext_taxonomy",
+}
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("benchmarks:")
+    for name in ALL_DESIGNS:
+        design = get_design(name)
+        print(f"  {name:8s} {design.description} "
+              f"({design.nominal_frequency / 1e6:.0f} MHz)")
+    print("experiments:")
+    for exp_id in EXPERIMENTS:
+        print(f"  {exp_id}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from .analysis.report import detection_report
+    from .rtl import Simulation, synthesize
+    from .units import MS
+
+    design = get_design(args.benchmark)
+    module = design.build()
+    netlist = synthesize(module)
+    print(detection_report(module, netlist))
+    if args.jobs > 0:
+        workload = workload_for(design.name, scale=0.1)
+        sim = Simulation(module, track_state_cycles=False)
+        times = []
+        for item in workload.test[:args.jobs]:
+            job = design.encode_job(item)
+            sim.reset()
+            sim.load(*job.as_pair())
+            times.append(sim.run().cycles / design.nominal_frequency / MS)
+        print(f"  sampled {len(times)} jobs: "
+              f"{min(times):.2f} / {sum(times) / len(times):.2f} / "
+              f"{max(times):.2f} ms (min/avg/max)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    exp_id = args.id
+    if exp_id not in EXPERIMENTS:
+        print(f"unknown experiment {exp_id!r}; try: "
+              f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    module = importlib.import_module(
+        f"repro.experiments.{EXPERIMENTS[exp_id]}")
+    kwargs = {"tech": "fpga"} if exp_id == "fig17" else {}
+    result = module.run(scale=args.scale, **kwargs)
+    if exp_id == "fig17":
+        print(module.to_text(result, tech="fpga"))
+    else:
+        print(module.to_text(result))
+    return 0
+
+
+def _cmd_verilog(args: argparse.Namespace) -> int:
+    from .rtl import to_verilog
+
+    design = get_design(args.benchmark)
+    text = to_verilog(design.build())
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Lint a benchmark design and print the findings."""
+    from .rtl.lint import lint_module
+
+    design = get_design(args.benchmark)
+    findings = lint_module(design.build())
+    if not findings:
+        print(f"{args.benchmark}: clean")
+        return 0
+    for finding in findings:
+        print(str(finding))
+    has_errors = any(f.severity == "error" for f in findings)
+    return 1 if has_errors else 0
+
+
+def _cmd_wave(args: argparse.Namespace) -> int:
+    """Dump a VCD waveform of one test job."""
+    from .rtl import Simulation
+    from .rtl.wave import VcdWriter
+
+    design = get_design(args.benchmark)
+    module = design.build()
+    workload = workload_for(design.name, scale=0.1)
+    job = design.encode_job(workload.test[args.job])
+    with open(args.output, "w") as handle:
+        writer = VcdWriter(module, handle)
+        sim = Simulation(module, listener=writer)
+        sim.load(*job.as_pair())
+        result = sim.run()
+        writer.finish(sim.cycle)
+    print(f"wrote {args.output} ({result.cycles} cycles)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run every registered experiment and write one markdown report."""
+    import importlib
+    import time
+
+    ids = args.only or [i for i in EXPERIMENTS if i != "fig19"]
+    sections: List[str] = [
+        "# Reproduction report",
+        f"workload scale: {args.scale if args.scale is not None else 'default'}",
+        "",
+    ]
+    t0 = time.time()
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            print(f"skipping unknown experiment {exp_id!r}",
+                  file=sys.stderr)
+            continue
+        module = importlib.import_module(
+            f"repro.experiments.{EXPERIMENTS[exp_id]}")
+        kwargs = {"tech": "fpga"} if exp_id == "fig17" else {}
+        result = module.run(scale=args.scale, **kwargs)
+        text = (module.to_text(result, tech="fpga") if exp_id == "fig17"
+                else module.to_text(result))
+        if exp_id == "fig11":
+            from .experiments.charts import fig11_chart
+            text += "\n\n" + fig11_chart(result)
+        elif exp_id == "fig15":
+            from .experiments.charts import fig15_chart
+            text += "\n\n" + fig15_chart(result)
+        sections.append(f"## {exp_id}\n\n```\n{text}\n```\n")
+        print(f"  {exp_id} done ({time.time() - t0:.0f}s elapsed)")
+    report = "\n".join(sections)
+    with open(args.output, "w") as handle:
+        handle.write(report)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .flow import generate_predictor
+    from .units import MS
+
+    design = get_design(args.benchmark)
+    workload = workload_for(design.name, scale=args.scale)
+    print(f"training on {len(workload.train)} jobs ...")
+    package = generate_predictor(design, workload.train)
+    print(f"{package.n_candidate_features} candidate features -> "
+          f"{package.n_selected_features} selected; slice area "
+          f"{package.slice_cost.area_fraction * 100:.1f}%")
+    f0 = design.nominal_frequency
+    from .rtl import Simulation
+    sim = Simulation(package.simulation_module(),
+                     track_state_cycles=False)
+    print(f"{'job':>4s} {'predicted':>10s} {'actual':>10s} {'err%':>7s}")
+    for i, item in enumerate(workload.test[:args.jobs]):
+        job = design.encode_job(item)
+        predicted, _ = package.run_slice(job)
+        sim.reset()
+        sim.load(*job.as_pair())
+        actual = sim.run().cycles
+        print(f"{i:4d} {predicted / f0 / MS:8.2f}ms "
+              f"{actual / f0 / MS:8.2f}ms "
+              f"{(predicted - actual) / actual * 100:7.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Predictive DVFS for hardware accelerators "
+                    "(MICRO 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and experiments")
+
+    p = sub.add_parser("describe", help="structural analysis of a design")
+    p.add_argument("benchmark", choices=ALL_DESIGNS)
+    p.add_argument("--jobs", type=int, default=5,
+                   help="sample N jobs for timing stats (0 to skip)")
+
+    p = sub.add_parser("experiment", help="regenerate a table/figure")
+    p.add_argument("id", help=f"one of: {', '.join(EXPERIMENTS)}")
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload scale (default: REPRO_SCALE or 1.0)")
+
+    p = sub.add_parser("verilog", help="export a design as Verilog")
+    p.add_argument("benchmark", choices=ALL_DESIGNS)
+    p.add_argument("-o", "--output", default=None)
+
+    p = sub.add_parser("predict", help="train and demo a predictor")
+    p.add_argument("benchmark", choices=ALL_DESIGNS)
+    p.add_argument("--scale", type=float, default=0.15)
+    p.add_argument("--jobs", type=int, default=8)
+
+    p = sub.add_parser("lint", help="lint a benchmark design")
+    p.add_argument("benchmark", choices=ALL_DESIGNS)
+
+    p = sub.add_parser("wave", help="dump a VCD waveform of one job")
+    p.add_argument("benchmark", choices=ALL_DESIGNS)
+    p.add_argument("-o", "--output", default="job.vcd")
+    p.add_argument("--job", type=int, default=0)
+
+    p = sub.add_parser("report",
+                       help="run experiments and write a markdown report")
+    p.add_argument("-o", "--output", default="reproduction_report.md")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--only", nargs="*", default=None,
+                   help="subset of experiment ids")
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "describe": _cmd_describe,
+    "experiment": _cmd_experiment,
+    "verilog": _cmd_verilog,
+    "predict": _cmd_predict,
+    "report": _cmd_report,
+    "lint": _cmd_lint,
+    "wave": _cmd_wave,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

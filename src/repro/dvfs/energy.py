@@ -1,0 +1,153 @@
+"""Energy models for ASIC and FPGA accelerators.
+
+The paper obtains power from post-place-and-route gate-level
+simulations at 1 V, then scales across DVFS levels with the
+voltage-frequency model (Sec. 4.1).  We do the same at cell
+granularity:
+
+* dynamic energy — every cell contributes a per-active-cycle switching
+  energy at 1 V (``repro.rtl.tech``).  Control logic toggles every
+  execution cycle; each datapath block toggles only during its declared
+  active FSM states.  At voltage V the energy scales with (V/V0)^2.
+* leakage — proportional to area (ASIC) or resources (FPGA) and scaled
+  with (V/V0)^3 (drain-induced barrier lowering makes leakage fall
+  super-linearly with voltage); integrated over the job's wall time.
+
+So running a job slower at lower voltage trades quadratic dynamic
+savings against linearly longer leakage integration — the trade-off
+DVFS navigates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from ..rtl.module import Module
+from ..rtl.netlist import Netlist
+from ..rtl.simulator import RunResult
+from ..rtl import tech
+from .levels import OperatingPoint
+
+#: Leakage voltage-scaling exponent.
+LEAKAGE_EXPONENT = 3.0
+
+
+@dataclass(frozen=True)
+class JobActivity:
+    """Per-job switching activity: total cycles plus per-datapath-block
+    active cycles."""
+
+    cycles: int
+    block_cycles: Mapping[str, int] = field(default_factory=dict)
+
+
+def activity_from_run(module: Module, result: RunResult) -> JobActivity:
+    """Derive datapath activity from a simulation's state-cycle counts."""
+    blocks: Dict[str, int] = {}
+    for block in module.datapath_blocks:
+        active = 0
+        for fsm_name, state in block.active_states:
+            active += result.state_cycles.get((fsm_name, state), 0)
+        blocks[block.name] = active
+    return JobActivity(cycles=result.cycles, block_cycles=blocks)
+
+
+class EnergyModel:
+    """Common interface: energy of one job at one operating point."""
+
+    v_nominal: float = 1.0
+
+    def job_energy(self, activity: JobActivity, point: OperatingPoint,
+                   duration: float) -> float:
+        """Energy in joules for a job with ``activity`` running at
+        ``point`` over wall time ``duration`` seconds."""
+        vr = point.voltage / self.v_nominal
+        dynamic = self._dynamic_energy_1v(activity) * vr * vr
+        leakage = self._leakage_power_1v() * (vr ** LEAKAGE_EXPONENT)
+        return dynamic + leakage * duration
+
+    def _dynamic_energy_1v(self, activity: JobActivity) -> float:
+        raise NotImplementedError
+
+    def _leakage_power_1v(self) -> float:
+        raise NotImplementedError
+
+
+class AsicEnergyModel(EnergyModel):
+    """Cell-level ASIC energy model derived from a netlist."""
+
+    def __init__(self, base_energy_per_cycle: float,
+                 block_energy_per_cycle: Mapping[str, float],
+                 leakage_power: float):
+        self.base_energy_per_cycle = base_energy_per_cycle
+        self.block_energy_per_cycle = dict(block_energy_per_cycle)
+        self.leakage_power = leakage_power
+
+    @classmethod
+    def from_netlist(cls, netlist: Netlist) -> "AsicEnergyModel":
+        base = 0.0
+        blocks: Dict[str, float] = {}
+        for cell in netlist:
+            energy = tech.asic_switch_energy_per_cycle(cell)
+            if cell.provenance.construct == "datapath":
+                name = cell.provenance.name
+                blocks[name] = blocks.get(name, 0.0) + energy
+            else:
+                base += energy
+        leak = tech.asic_leakage_power(tech.asic_area(netlist))
+        return cls(base, blocks, leak)
+
+    def _dynamic_energy_1v(self, activity: JobActivity) -> float:
+        energy = self.base_energy_per_cycle * activity.cycles
+        for name, cycles in activity.block_cycles.items():
+            energy += self.block_energy_per_cycle.get(name, 0.0) * cycles
+        return energy
+
+    def _leakage_power_1v(self) -> float:
+        return self.leakage_power
+
+
+class FpgaEnergyModel(EnergyModel):
+    """Resource-level FPGA energy model derived from a netlist."""
+
+    def __init__(self, base_energy_per_cycle: float,
+                 block_energy_per_cycle: Mapping[str, float],
+                 static_power: float):
+        self.base_energy_per_cycle = base_energy_per_cycle
+        self.block_energy_per_cycle = dict(block_energy_per_cycle)
+        self.static_power = static_power
+
+    @classmethod
+    def from_netlist(cls, netlist: Netlist) -> "FpgaEnergyModel":
+        base = tech.FpgaResources()
+        blocks_res: Dict[str, tech.FpgaResources] = {}
+        for cell in netlist:
+            res = tech.fpga_cell_resources(cell)
+            if cell.provenance.construct == "datapath":
+                name = cell.provenance.name
+                blocks_res[name] = blocks_res.get(
+                    name, tech.FpgaResources()) + res
+            else:
+                base = base + res
+        blocks = {
+            name: tech.fpga_switch_energy_per_cycle(res)
+            for name, res in blocks_res.items()
+        }
+        total = base
+        for res in blocks_res.values():
+            total = total + res
+        return cls(
+            base_energy_per_cycle=tech.fpga_switch_energy_per_cycle(base),
+            block_energy_per_cycle=blocks,
+            static_power=tech.fpga_leakage_power(total),
+        )
+
+    def _dynamic_energy_1v(self, activity: JobActivity) -> float:
+        energy = self.base_energy_per_cycle * activity.cycles
+        for name, cycles in activity.block_cycles.items():
+            energy += self.block_energy_per_cycle.get(name, 0.0) * cycles
+        return energy
+
+    def _leakage_power_1v(self) -> float:
+        return self.static_power

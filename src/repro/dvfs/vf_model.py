@@ -1,0 +1,155 @@
+"""Voltage-frequency characterization.
+
+ASIC: the paper characterizes each accelerator with SPICE on "a chain
+of FO4 loaded inverters such that the total delay of the chain matches
+the cycle time of the accelerator at nominal voltage", then sweeps the
+supply (Sec. 4.1).  We reproduce the methodology with an alpha-power-law
+MOSFET drain-current model driving the same FO4 chain: stage delay is
+``k * C * V / I_dsat(V)`` with ``I_dsat ∝ (V - Vt)^alpha``.  Absolute
+delays are calibrated to the accelerator's nominal cycle time, exactly
+like the paper; only the *ratio* of delays across voltages feeds the
+DVFS model, which is what the alpha-power law predicts well.
+
+FPGA: the relationship comes from published Kintex-7 characterizations
+[30], which show a near-linear frequency roll-off from 1.0 V down to
+0.7 V; we embed that published curve as an interpolation table.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class AlphaPowerDevice:
+    """Alpha-power-law transistor model (Sakurai-Newton).
+
+    ``vt`` is the threshold voltage, ``alpha`` the velocity-saturation
+    index (~1.3 for 65 nm-class devices).
+    """
+
+    vt: float = 0.42
+    alpha: float = 1.5
+
+    def drive_current(self, vdd: float) -> float:
+        """Saturation current, arbitrary units."""
+        if vdd <= self.vt:
+            raise ValueError(
+                f"supply {vdd} V is at or below threshold {self.vt} V"
+            )
+        return (vdd - self.vt) ** self.alpha
+
+
+@dataclass(frozen=True)
+class Fo4Chain:
+    """A chain of FO4-loaded inverters calibrated to a cycle time.
+
+    ``n_stages`` and the device are fixed; ``calibrate`` returns a
+    chain whose total delay at ``v_nominal`` equals ``cycle_time``.
+    """
+
+    device: AlphaPowerDevice
+    n_stages: int
+    stage_cap: float  # effective FO4 load, calibrated
+
+    @classmethod
+    def calibrate(cls, cycle_time: float, v_nominal: float = 1.0,
+                  n_stages: int = 12,
+                  device: AlphaPowerDevice = AlphaPowerDevice()
+                  ) -> "Fo4Chain":
+        """Size the load so the chain matches ``cycle_time`` at nominal."""
+        if cycle_time <= 0:
+            raise ValueError("cycle time must be positive")
+        raw = n_stages * v_nominal / device.drive_current(v_nominal)
+        return cls(device=device, n_stages=n_stages,
+                   stage_cap=cycle_time / raw)
+
+    def delay(self, vdd: float) -> float:
+        """Total chain delay at supply ``vdd`` (seconds)."""
+        stage = self.stage_cap * vdd / self.device.drive_current(vdd)
+        return self.n_stages * stage
+
+
+class VoltageFrequencyModel:
+    """Maps supply voltage to achievable clock frequency."""
+
+    def frequency_at(self, vdd: float) -> float:
+        """Achievable clock frequency at supply ``vdd``."""
+        raise NotImplementedError
+
+    def scale_at(self, vdd: float) -> float:
+        """Frequency relative to nominal."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AsicVfModel(VoltageFrequencyModel):
+    """ASIC V-f curve from the calibrated FO4 chain."""
+
+    chain: Fo4Chain
+    f_nominal: float
+    v_nominal: float = 1.0
+
+    @classmethod
+    def characterize(cls, f_nominal: float,
+                     v_nominal: float = 1.0,
+                     device: AlphaPowerDevice = AlphaPowerDevice()
+                     ) -> "AsicVfModel":
+        """The paper's flow: build a chain matching the nominal cycle
+        time, then use its delay-vs-voltage curve."""
+        if f_nominal <= 0:
+            raise ValueError("nominal frequency must be positive")
+        chain = Fo4Chain.calibrate(1.0 / f_nominal, v_nominal,
+                                   device=device)
+        return cls(chain=chain, f_nominal=f_nominal, v_nominal=v_nominal)
+
+    def frequency_at(self, vdd: float) -> float:
+        """Clock frequency from the calibrated FO4 chain."""
+        return 1.0 / self.chain.delay(vdd)
+
+    def scale_at(self, vdd: float) -> float:
+        return self.frequency_at(vdd) / self.f_nominal
+
+
+#: Published Kintex-7 style (voltage, relative frequency) curve [30].
+FPGA_VF_TABLE: Tuple[Tuple[float, float], ...] = (
+    (0.70, 0.52),
+    (0.75, 0.62),
+    (0.80, 0.71),
+    (0.85, 0.79),
+    (0.90, 0.87),
+    (0.95, 0.94),
+    (1.00, 1.00),
+)
+
+
+@dataclass(frozen=True)
+class FpgaVfModel(VoltageFrequencyModel):
+    """FPGA V-f curve interpolated from the published characterization."""
+
+    f_nominal: float
+    table: Tuple[Tuple[float, float], ...] = FPGA_VF_TABLE
+
+    def scale_at(self, vdd: float) -> float:
+        voltages = [v for v, _ in self.table]
+        scales = [s for _, s in self.table]
+        if vdd < voltages[0] or vdd > voltages[-1] + 0.15:
+            raise ValueError(
+                f"{vdd} V outside characterized range "
+                f"[{voltages[0]}, {voltages[-1]}]"
+            )
+        if vdd >= voltages[-1]:
+            # Mild extrapolation for boost levels just above nominal.
+            slope = ((scales[-1] - scales[-2])
+                     / (voltages[-1] - voltages[-2]))
+            return scales[-1] + slope * (vdd - voltages[-1])
+        i = bisect.bisect_right(voltages, vdd) - 1
+        v0, v1 = voltages[i], voltages[i + 1]
+        s0, s1 = scales[i], scales[i + 1]
+        return s0 + (s1 - s0) * (vdd - v0) / (v1 - v0)
+
+    def frequency_at(self, vdd: float) -> float:
+        """Clock frequency from the published curve."""
+        return self.f_nominal * self.scale_at(vdd)

@@ -1,0 +1,104 @@
+"""Terminal charts: render figure data as unicode bar/line charts.
+
+The paper's figures are grouped bar charts and line plots.  This
+module reproduces their *shape* in a terminal so `python -m repro
+report` and the examples can show results without a plotting stack
+(the environment is offline; matplotlib is unavailable by design).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def hbar(value: float, max_value: float, width: int = 40) -> str:
+    """One horizontal bar scaled to ``max_value``."""
+    if max_value <= 0:
+        return ""
+    fraction = max(min(value / max_value, 1.0), 0.0)
+    whole, frac = divmod(fraction * width, 1)
+    bar = "█" * int(whole)
+    partial_index = int(frac * (len(_BLOCKS) - 1))
+    if partial_index:
+        bar += _BLOCKS[partial_index]
+    return bar
+
+
+def grouped_bars(groups: Mapping[str, Mapping[str, float]],
+                 unit: str = "%", width: int = 40) -> str:
+    """A grouped bar chart: ``groups[group][series] = value``.
+
+    Mirrors the paper's per-benchmark bar groups (Figs 11-17).
+    """
+    if not groups:
+        return "(no data)"
+    max_value = max(
+        value for series in groups.values() for value in series.values()
+    )
+    label_w = max(
+        (len(s) for series in groups.values() for s in series), default=1
+    )
+    lines: List[str] = []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            bar = hbar(value, max_value, width)
+            lines.append(
+                f"  {name:<{label_w}s} {bar} {value:.1f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def line_chart(series: Mapping[str, Sequence[Tuple[float, float]]],
+               height: int = 12, width: int = 60,
+               markers: str = "ox+*#") -> str:
+    """Multiple (x, y) series on one character grid (Fig 15 style)."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [f"{y_hi:10.1f} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:10.1f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_lo:<8.2g}" + " " * (width - 16)
+                 + f"{x_hi:>8.2g}")
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker
+        in zip(series.items(), markers)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def fig11_chart(summaries) -> str:
+    """Render Fig 11-style scheme summaries as grouped bars."""
+    groups: Dict[str, Dict[str, float]] = {}
+    for s in summaries:
+        groups.setdefault(s.benchmark, {})[s.scheme] = \
+            s.normalized_energy_pct
+    return grouped_bars(groups, unit="%")
+
+
+def fig15_chart(points) -> str:
+    """Render Fig 15 deadline-sensitivity points as a line chart."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for p in points:
+        series.setdefault(p.scheme, []).append(
+            (p.deadline_factor, p.normalized_energy_pct))
+    return line_chart(series)

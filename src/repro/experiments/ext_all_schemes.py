@@ -1,0 +1,43 @@
+"""Extension: every controller the literature section mentions, at once.
+
+The paper evaluates baseline/PID/prediction (plus oracle and boost
+variants).  Sec. 2.4 and 5.1 additionally discuss table-based lookup
+(Exynos MFC), history-based reactive control [10, 18], and Linux's
+interval-based devfreq governors — all of which this library also
+implements.  This experiment ranks all of them on the same jobs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..runtime import SchemeSummary, format_table
+from .schemes import compare_schemes
+
+SCHEMES = ("baseline", "governor", "table", "history", "pid",
+           "prediction", "oracle")
+
+
+def run(scale: Optional[float] = None) -> List[SchemeSummary]:
+    """Rank every implemented scheme on the same jobs."""
+    return compare_schemes(SCHEMES, tech="asic", scale=scale)
+
+
+def ranking(summaries: List[SchemeSummary]) -> List[tuple]:
+    """(scheme, energy%, miss%) sorted by energy, averages only."""
+    rows = [
+        (s.scheme, s.normalized_energy_pct, s.miss_rate_pct)
+        for s in summaries if s.benchmark == "average"
+    ]
+    return sorted(rows, key=lambda r: r[1])
+
+
+def to_text(summaries: List[SchemeSummary]) -> str:
+    """Render the result the way the paper's figure reads."""
+    lines = ["Extension: all DVFS schemes on the same jobs (ASIC)"]
+    lines.append(format_table(
+        [s for s in summaries if s.benchmark == "average"]))
+    lines.append("ranking by average energy (misses in parentheses):")
+    for scheme, energy, miss in ranking(summaries):
+        lines.append(f"  {scheme:12s} {energy:6.1f}%  ({miss:.2f}% miss)")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Extension: workload taxonomy vs controller outcomes.
+
+Sec. 2.4 of the paper sorts workloads by how reactive control copes:
+"applications whose execution time varies slowly with time" are fine;
+"rapid changes in job-to-job execution time" defeat it; uncorrelated
+streams make it pointless.  This experiment *measures* each
+benchmark's workload statistics (spread, lag-1 autocorrelation, spike
+rate — :mod:`repro.workloads.characterize`) and places them next to
+the PID-vs-prediction miss gap on the same jobs, making the taxonomy
+quantitative: the spikier and less correlated the workload, the larger
+the reactive scheme's miss penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..workloads import ALL_BENCHMARKS, workload_for
+from ..workloads.characterize import WorkloadProfile, characterize
+from .runner import bundle_for, run_scheme, tech_context
+from .setup import default_config
+
+
+@dataclass(frozen=True)
+class TaxonomyRow:
+    """One benchmark: workload statistics plus controller outcomes."""
+
+    benchmark: str
+    profile: WorkloadProfile
+    pid_miss_pct: float
+    prediction_miss_pct: float
+
+    @property
+    def reactive_penalty_pct(self) -> float:
+        """Extra misses reactive control pays on this workload."""
+        return self.pid_miss_pct - self.prediction_miss_pct
+
+
+def run(scale: Optional[float] = None) -> List[TaxonomyRow]:
+    """Profile each workload and measure the reactive miss penalty."""
+    config = default_config()
+    if scale is None:
+        scale = config.scale
+    rows: List[TaxonomyRow] = []
+    for name in ALL_BENCHMARKS:
+        profile = characterize(workload_for(name, scale=scale).test)
+        ctx = tech_context(bundle_for(name, scale), tech="asic",
+                           config=config)
+        pid = run_scheme(ctx, "pid")
+        prediction = run_scheme(ctx, "prediction")
+        rows.append(TaxonomyRow(
+            benchmark=name,
+            profile=profile,
+            pid_miss_pct=pid.miss_rate * 100,
+            prediction_miss_pct=prediction.miss_rate * 100,
+        ))
+    return rows
+
+
+def to_text(rows: List[TaxonomyRow]) -> str:
+    """Render the result the way the paper's figure reads."""
+    lines = [
+        "Extension: workload taxonomy vs reactive-control penalty",
+        f"  {'bench':8s} {'cv':>6s} {'lag1':>6s} {'spike%':>7s} "
+        f"{'pid miss%':>10s} {'pred miss%':>11s} {'penalty':>8s}",
+    ]
+    for r in rows:
+        p = r.profile
+        lines.append(
+            f"  {r.benchmark:8s} {p.cv:6.2f} {p.lag1_autocorr:6.2f} "
+            f"{p.spike_rate * 100:7.2f} {r.pid_miss_pct:10.2f} "
+            f"{r.prediction_miss_pct:11.2f} "
+            f"{r.reactive_penalty_pct:8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Fig 10: box-and-whisker prediction-error statistics per benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..model import BoxStats, PredictionReport
+from ..workloads import ALL_BENCHMARKS
+from .runner import bundle_for
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    reports: Dict[str, PredictionReport]
+
+    def box(self, benchmark: str) -> BoxStats:
+        """The Fig 10 box statistics for one benchmark."""
+        return self.reports[benchmark].box
+
+
+def run(scale: Optional[float] = None) -> Fig10Result:
+    """Prediction-error statistics per benchmark."""
+    reports: Dict[str, PredictionReport] = {}
+    for name in ALL_BENCHMARKS:
+        bundle = bundle_for(name, scale)
+        predicted = np.array(
+            [r.predicted_cycles for r in bundle.test_records])
+        actual = np.array(
+            [r.actual_cycles for r in bundle.test_records], dtype=float)
+        reports[name] = PredictionReport.from_predictions(predicted, actual)
+    return Fig10Result(reports=reports)
+
+
+def to_text(result: Fig10Result) -> str:
+    """Render the result the way the paper's figure reads."""
+    lines = [
+        "Fig 10: slice-based prediction error (%); positive = over-predict",
+        f"  {'bench':8s} {'q1':>6s} {'med':>6s} {'q3':>6s} "
+        f"{'lo':>6s} {'hi':>6s} {'worst-under':>11s} {'outliers':>8s}",
+    ]
+    for name, report in result.reports.items():
+        box = report.box
+        lines.append(
+            f"  {name:8s} {box.q1:6.2f} {box.median:6.2f} {box.q3:6.2f} "
+            f"{box.whisker_low:6.2f} {box.whisker_high:6.2f} "
+            f"{report.max_under_pct:11.2f} {len(box.outliers):8d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Fig 11: normalized energy and deadline misses of baseline, PID and
+prediction-based DVFS on the ASIC accelerators."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..runtime import SchemeSummary, format_table
+from .schemes import average_row, compare_schemes
+
+SCHEMES = ("baseline", "pid", "prediction")
+
+
+def run(scale: Optional[float] = None) -> List[SchemeSummary]:
+    """Baseline/PID/prediction energy and misses (ASIC)."""
+    return compare_schemes(SCHEMES, tech="asic", scale=scale)
+
+
+def headline(summaries: List[SchemeSummary]) -> dict:
+    """The paper's headline numbers: 36.7% savings, 0.4% misses for
+    prediction; 10.5% misses and 4.3% worse energy for PID."""
+    pred = average_row(summaries, "prediction")
+    pid = average_row(summaries, "pid")
+    return {
+        "prediction_energy_savings_pct": pred.energy_savings_pct,
+        "prediction_miss_pct": pred.miss_rate_pct,
+        "pid_energy_savings_pct": pid.energy_savings_pct,
+        "pid_miss_pct": pid.miss_rate_pct,
+        "pid_energy_penalty_pct": (pid.normalized_energy_pct
+                                   - pred.normalized_energy_pct),
+    }
+
+
+def to_text(summaries: List[SchemeSummary]) -> str:
+    """Render the result the way the paper's figure reads."""
+    head = headline(summaries)
+    return (
+        "Fig 11: ASIC normalized energy (% of baseline) and deadline "
+        "misses (%)\n"
+        + format_table(summaries)
+        + "\n"
+        + f"headline: prediction saves "
+          f"{head['prediction_energy_savings_pct']:.1f}% energy with "
+          f"{head['prediction_miss_pct']:.2f}% misses; PID misses "
+          f"{head['pid_miss_pct']:.1f}% and burns "
+          f"{head['pid_energy_penalty_pct']:.1f}% more energy "
+          f"(paper: 36.7%, 0.4%, 10.5%, 4.3%)"
+    )

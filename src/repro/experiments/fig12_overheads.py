@@ -1,0 +1,78 @@
+"""Fig 12 (ASIC) / Fig 17 (FPGA): slice area/resource, energy and time
+overheads of the prediction slice."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..dvfs.energy import JobActivity
+from ..workloads import ALL_BENCHMARKS
+from .runner import bundle_for, tech_context
+from .setup import default_config
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    benchmark: str
+    area_pct: float        # slice area (ASIC) or avg resources (FPGA), %
+    energy_pct: float      # slice energy / job energy at nominal, %
+    time_pct: float        # slice time / deadline budget, %
+
+
+def run(scale: Optional[float] = None,
+        tech: str = "asic") -> List[OverheadRow]:
+    """Slice area/energy/time overheads per benchmark."""
+    config = default_config()
+    rows: List[OverheadRow] = []
+    for name in ALL_BENCHMARKS:
+        bundle = bundle_for(name, scale)
+        ctx = tech_context(bundle, tech=tech, config=config)
+        f0 = ctx.levels.nominal.frequency
+        nominal = ctx.levels.nominal
+        energy_ratios = []
+        time_fracs = []
+        for record in bundle.test_records:
+            t_slice = record.slice_cycles / f0
+            t_job = record.actual_cycles / f0
+            e_slice = ctx.slice_energy_model.job_energy(
+                JobActivity(cycles=record.slice_cycles), nominal, t_slice)
+            e_job = ctx.energy_model.job_energy(
+                record.activity, nominal, t_job)
+            energy_ratios.append(e_slice / e_job)
+            time_fracs.append(t_slice / config.deadline)
+        cost = bundle.package.slice_cost
+        if tech == "asic":
+            area_pct = cost.area_fraction * 100.0
+        else:
+            area_pct = cost.resource_fraction * 100.0
+        rows.append(OverheadRow(
+            benchmark=name,
+            area_pct=area_pct,
+            energy_pct=100.0 * sum(energy_ratios) / len(energy_ratios),
+            time_pct=100.0 * sum(time_fracs) / len(time_fracs),
+        ))
+    rows.append(OverheadRow(
+        benchmark="average",
+        area_pct=sum(r.area_pct for r in rows) / len(rows),
+        energy_pct=sum(r.energy_pct for r in rows) / len(rows),
+        time_pct=sum(r.time_pct for r in rows) / len(rows),
+    ))
+    return rows
+
+
+def to_text(rows: List[OverheadRow], tech: str = "asic") -> str:
+    """Render the result the way the paper's figure reads."""
+    label = "area" if tech == "asic" else "resources"
+    fig = "Fig 12" if tech == "asic" else "Fig 17"
+    lines = [
+        f"{fig}: prediction-slice overheads ({tech.upper()})",
+        f"  {'bench':8s} {f'slice {label} %':>14s} {'slice energy %':>14s} "
+        f"{'slice time %':>13s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"  {r.benchmark:8s} {r.area_pct:14.2f} {r.energy_pct:14.2f} "
+            f"{r.time_pct:13.2f}"
+        )
+    return "\n".join(lines)

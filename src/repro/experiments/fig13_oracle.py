@@ -1,0 +1,47 @@
+"""Fig 13: prediction with overheads removed, against the oracle."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..runtime import SchemeSummary, format_table
+from .schemes import average_row, compare_schemes
+
+SCHEMES = ("prediction", "prediction_no_overhead", "oracle")
+
+
+def run(scale: Optional[float] = None) -> List[SchemeSummary]:
+    """Overhead-free prediction vs the oracle."""
+    return compare_schemes(SCHEMES, tech="asic", scale=scale)
+
+
+def headline(summaries: List[SchemeSummary]) -> dict:
+    """The figure's headline quantities as a dict."""
+    pred = average_row(summaries, "prediction")
+    no_ovh = average_row(summaries, "prediction_no_overhead")
+    oracle = average_row(summaries, "oracle")
+    return {
+        "prediction_energy_pct": pred.normalized_energy_pct,
+        "no_overhead_energy_pct": no_ovh.normalized_energy_pct,
+        "oracle_energy_pct": oracle.normalized_energy_pct,
+        "overhead_cost_pct": (pred.normalized_energy_pct
+                              - no_ovh.normalized_energy_pct),
+        "gap_to_oracle_pct": (no_ovh.normalized_energy_pct
+                              - oracle.normalized_energy_pct),
+        "no_overhead_miss_pct": no_ovh.miss_rate_pct,
+        "oracle_miss_pct": oracle.miss_rate_pct,
+    }
+
+
+def to_text(summaries: List[SchemeSummary]) -> str:
+    """Render the result the way the paper's figure reads."""
+    head = headline(summaries)
+    return (
+        "Fig 13: removing slice/DVFS-switch overheads, vs the oracle\n"
+        + format_table(summaries)
+        + "\n"
+        + f"headline: overheads cost {head['overhead_cost_pct']:.1f}% "
+          f"energy; overhead-free prediction is "
+          f"{head['gap_to_oracle_pct']:.1f}% from oracle "
+          f"(paper: 3.1% and 0.7%)"
+    )

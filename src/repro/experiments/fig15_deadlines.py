@@ -1,0 +1,71 @@
+"""Fig 15: sensitivity to the deadline, 0.6x to 1.6x of 16.7 ms.
+
+Energy and misses averaged across all benchmarks per scheme.  The
+predictor is *not* retrained across deadlines — only the DVFS model's
+budget changes, exactly as the paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .schemes import average_row, compare_schemes
+
+SCHEMES = ("baseline", "pid", "prediction")
+DEADLINE_FACTORS = (0.6, 0.8, 1.0, 1.2, 1.4, 1.6)
+
+
+@dataclass(frozen=True)
+class Fig15Point:
+    deadline_factor: float
+    scheme: str
+    normalized_energy_pct: float
+    miss_rate_pct: float
+
+
+def run(scale: Optional[float] = None,
+        factors: Sequence[float] = DEADLINE_FACTORS) -> List[Fig15Point]:
+    """Scheme comparison across deadline factors."""
+    points: List[Fig15Point] = []
+    for factor in factors:
+        summaries = compare_schemes(SCHEMES, tech="asic", scale=scale,
+                                    deadline_factor=factor)
+        for scheme in SCHEMES:
+            avg = average_row(summaries, scheme)
+            points.append(Fig15Point(
+                deadline_factor=factor,
+                scheme=scheme,
+                normalized_energy_pct=avg.normalized_energy_pct,
+                miss_rate_pct=avg.miss_rate_pct,
+            ))
+    return points
+
+
+def series(points: List[Fig15Point],
+           scheme: str) -> List[Tuple[float, float, float]]:
+    """(factor, energy%, miss%) triples for one scheme."""
+    return [
+        (p.deadline_factor, p.normalized_energy_pct, p.miss_rate_pct)
+        for p in points if p.scheme == scheme
+    ]
+
+
+def to_text(points: List[Fig15Point]) -> str:
+    """Render the result the way the paper's figure reads."""
+    lines = [
+        "Fig 15: deadline sensitivity (averaged across benchmarks)",
+        f"  {'factor':>6s}" + "".join(
+            f" {s + ':E%':>10s} {s + ':M%':>9s}" for s in SCHEMES),
+    ]
+    factors = sorted({p.deadline_factor for p in points})
+    table: Dict[Tuple[float, str], Fig15Point] = {
+        (p.deadline_factor, p.scheme): p for p in points
+    }
+    for factor in factors:
+        row = f"  {factor:6.1f}"
+        for scheme in SCHEMES:
+            p = table[(factor, scheme)]
+            row += f" {p.normalized_energy_pct:10.1f} {p.miss_rate_pct:9.2f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Fig 16: FPGA (Kintex-7) normalized energy and deadline misses."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..runtime import SchemeSummary, format_table
+from .schemes import average_row, compare_schemes
+
+SCHEMES = ("baseline", "pid", "prediction")
+
+
+def run(scale: Optional[float] = None) -> List[SchemeSummary]:
+    """Baseline/PID/prediction on the FPGA models."""
+    return compare_schemes(SCHEMES, tech="fpga", scale=scale)
+
+
+def headline(summaries: List[SchemeSummary]) -> dict:
+    """The figure's headline quantities as a dict."""
+    pred = average_row(summaries, "prediction")
+    return {
+        "prediction_energy_savings_pct": pred.energy_savings_pct,
+        "prediction_miss_pct": pred.miss_rate_pct,
+    }
+
+
+def to_text(summaries: List[SchemeSummary]) -> str:
+    """Render the result the way the paper's figure reads."""
+    head = headline(summaries)
+    return (
+        "Fig 16: FPGA normalized energy (% of baseline) and misses (%)\n"
+        + format_table(summaries)
+        + "\n"
+        + f"headline: prediction saves "
+          f"{head['prediction_energy_savings_pct']:.1f}% with "
+          f"{head['prediction_miss_pct']:.2f}% misses "
+          f"(paper: 35.9% and 0.4%)"
+    )

@@ -1,0 +1,188 @@
+"""Figs 18 and 19: slicing at RTL level vs HLS level (md, stencil).
+
+For each of md and stencil we build two predictors over the *same*
+trained model: the RTL hardware slice (what the main evaluation uses)
+and an HLS slice obtained by program-slicing the accelerator's C
+version and scheduling it with pipelining/unrolling.  The HLS slice
+computes identical features (a property the tests check), so the
+prediction accuracy matches — but it finishes far sooner, which
+removes the deadline misses caused by insufficient time budget after
+slice execution (Fig 18), and its operator inventory prices the
+alternative area/energy overheads (Fig 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+import numpy as np
+
+from ..accelerators.hls_models import HLS_PROGRAMS
+from ..dvfs.energy import JobActivity
+from ..model import BoxStats, percent_errors
+from ..rtl import tech
+from ..rtl.netlist import Cell, Provenance
+from ..runtime import JobRecord
+from ..slicing.hls import HlsSlicePredictor
+from .runner import BenchmarkBundle, bundle_for, run_scheme, tech_context
+from .setup import default_config
+
+HLS_BENCHMARKS = ("md", "stencil")
+#: Extra control cells every HLS slice carries (model MACs, registers).
+_HLS_OVERHEAD_CELLS = {"MUL": 2, "ADD": 4, "DFF": 12, "MUX": 8}
+
+
+@dataclass(frozen=True)
+class VariantResult:
+    """One bar group of Figs 18/19 (e.g. ``md-hls``)."""
+
+    label: str                 # "md-rtl", "md-hls", ...
+    error_box: BoxStats
+    miss_rate_pct: float
+    area_pct: float            # slice area vs full accelerator (ASIC)
+    energy_pct: float          # slice energy vs job energy
+    time_pct: float            # slice time vs deadline budget
+
+
+def _hls_cells(predictor: HlsSlicePredictor) -> List[Cell]:
+    inventory = dict(predictor.schedule.cells())
+    for kind, count in _HLS_OVERHEAD_CELLS.items():
+        inventory[kind] = inventory.get(kind, 0) + count
+    cells = []
+    for cid, (kind, count) in enumerate(sorted(inventory.items())):
+        cells.append(Cell(
+            cid=cid, kind=kind, out=f"hls__{kind}", fanin=(),
+            width=24, count=count,
+            provenance=Provenance("datapath", "hls_slice", kind),
+        ))
+    return cells
+
+
+def _hls_records(bundle: BenchmarkBundle,
+                 predictor: HlsSlicePredictor) -> List[JobRecord]:
+    """Test records with the HLS slice's predictions and timings."""
+    package = bundle.package
+    names = package.feature_set.names()
+    records = []
+    for item, record in zip(bundle.workload.test, bundle.test_records):
+        job = bundle.design.encode_job(item)
+        values, cycles = predictor.run(job.inputs, job.memories)
+        vector = np.array([values.get(name, 0.0) for name in names])
+        predicted = max(package.predictor.predict_one(vector), 0.0)
+        records.append(replace(record, predicted_cycles=predicted,
+                               slice_cycles=cycles))
+    return records
+
+
+def build_hls_predictor(bundle: BenchmarkBundle,
+                        unroll: int = 4) -> HlsSlicePredictor:
+    """Program-slice the benchmark's C version to the selected features."""
+    program, mapping = HLS_PROGRAMS[bundle.name]()
+    selected = set(bundle.package.predictor.selected_features)
+    wanted = {feat: var for feat, var in mapping.items()
+              if feat in selected}
+    if not wanted:  # intercept-only model: slice still needs *something*
+        wanted = dict(list(mapping.items())[:1])
+    return HlsSlicePredictor.build(program, wanted, unroll=unroll)
+
+
+def run(scale: Optional[float] = None) -> List[VariantResult]:
+    """RTL vs HLS slicing variants for md and stencil."""
+    config = default_config()
+    results: List[VariantResult] = []
+    for name in HLS_BENCHMARKS:
+        bundle = bundle_for(name, scale)
+        ctx = tech_context(bundle, tech="asic", config=config)
+        hls_predictor = build_hls_predictor(bundle)
+        hls_cells = _hls_cells(hls_predictor)
+        hls_area = sum(tech.asic_cell_area(c) for c in hls_cells)
+        hls_energy_per_cycle = sum(
+            tech.asic_switch_energy_per_cycle(c) for c in hls_cells)
+        full_area = tech.asic_area(bundle.package.netlist)
+
+        for variant in ("rtl", "hls"):
+            if variant == "rtl":
+                records = bundle.test_records
+                area_pct = bundle.package.slice_cost.area_fraction * 100
+            else:
+                records = _hls_records(bundle, hls_predictor)
+                area_pct = hls_area / full_area * 100
+            f0 = ctx.levels.nominal.frequency
+            nominal = ctx.levels.nominal
+            errors = percent_errors(
+                np.array([r.predicted_cycles for r in records]),
+                np.array([float(r.actual_cycles) for r in records]))
+            energy_ratios = []
+            time_fracs = []
+            for record in records:
+                t_slice = record.slice_cycles / f0
+                e_job = ctx.energy_model.job_energy(
+                    record.activity, nominal, record.actual_cycles / f0)
+                if variant == "rtl":
+                    e_slice = ctx.slice_energy_model.job_energy(
+                        JobActivity(cycles=record.slice_cycles),
+                        nominal, t_slice)
+                else:
+                    vr = nominal.voltage
+                    e_slice = (hls_energy_per_cycle * record.slice_cycles
+                               * vr * vr
+                               + tech.asic_leakage_power(hls_area) * t_slice)
+                energy_ratios.append(e_slice / e_job)
+                time_fracs.append(t_slice / config.deadline)
+
+            ctx_records = TechRecords(ctx, records)
+            episode = run_scheme(ctx_records, "prediction")
+            results.append(VariantResult(
+                label=f"{name}-{variant}",
+                error_box=BoxStats.from_samples(errors),
+                miss_rate_pct=episode.miss_rate * 100.0,
+                area_pct=area_pct,
+                energy_pct=100 * float(np.mean(energy_ratios)),
+                time_pct=100 * float(np.mean(time_fracs)),
+            ))
+    return results
+
+
+class TechRecords:
+    """A TechContext proxy whose bundle serves substituted records."""
+
+    def __init__(self, ctx, records):
+        self._ctx = ctx
+        self.bundle = _BundleProxy(ctx.bundle, records)
+        self.tech = ctx.tech
+        self.levels = ctx.levels
+        self.energy_model = ctx.energy_model
+        self.slice_energy_model = ctx.slice_energy_model
+        self.config = ctx.config
+
+    def task(self, deadline=None):
+        """Delegate to the wrapped context's task factory."""
+        return self._ctx.task(deadline)
+
+
+class _BundleProxy:
+    def __init__(self, bundle, records):
+        self.design = bundle.design
+        self.workload = bundle.workload
+        self.package = bundle.package
+        self.test_records = records
+        self.train_cycles = bundle.train_cycles
+        self.train_coarse = bundle.train_coarse
+        self.name = bundle.name
+
+
+def to_text(results: List[VariantResult]) -> str:
+    """Render the result the way the paper's figure reads."""
+    lines = [
+        "Figs 18/19: RTL-level vs HLS-level slicing (md, stencil)",
+        f"  {'variant':12s} {'err med%':>8s} {'err hi%':>8s} "
+        f"{'miss%':>6s} {'area%':>6s} {'energy%':>8s} {'time%':>6s}",
+    ]
+    for r in results:
+        lines.append(
+            f"  {r.label:12s} {r.error_box.median:8.2f} "
+            f"{r.error_box.whisker_high:8.2f} {r.miss_rate_pct:6.2f} "
+            f"{r.area_pct:6.2f} {r.energy_pct:8.3f} {r.time_pct:6.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,205 @@
+"""Shared evaluation harness: bundles, contexts, and scheme runs.
+
+A :class:`BenchmarkBundle` holds everything expensive for one
+benchmark — the design, the generated predictor, and ground-truth job
+records for train and test workloads.  Bundles are cached per
+(benchmark, scale) so the thirteen figures/tables reuse one simulation
+pass instead of re-simulating per experiment (exactly how the paper's
+evaluation reuses one set of RTL simulation traces).
+
+A :class:`TechContext` specializes a bundle to ASIC or FPGA: level
+table, energy models.  ``run_scheme`` executes one controller over the
+test records and returns the figures' (energy, misses) cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..accelerators import get_design
+from ..accelerators.base import AcceleratorDesign
+from ..dvfs import (
+    ASIC_VOLTAGES,
+    AsicEnergyModel,
+    AsicVfModel,
+    ConstantFrequencyController,
+    Controller,
+    FPGA_VOLTAGES,
+    FpgaEnergyModel,
+    FpgaVfModel,
+    HistoryController,
+    IntervalGovernorController,
+    LevelTable,
+    OracleController,
+    PidController,
+    PredictiveController,
+    TableBasedController,
+    build_level_table,
+)
+from ..dvfs.energy import EnergyModel
+from ..flow import (
+    FlowConfig,
+    GeneratedPredictor,
+    build_job_records,
+    generate_predictor,
+)
+from ..runtime import EpisodeResult, JobRecord, Task, run_episode
+from ..workloads import BenchmarkWorkload, workload_for
+from .setup import ExperimentConfig, default_config
+
+
+@dataclass
+class BenchmarkBundle:
+    """One benchmark's expensive artefacts, shared across experiments."""
+
+    design: AcceleratorDesign
+    workload: BenchmarkWorkload
+    package: GeneratedPredictor
+    test_records: List[JobRecord]
+    train_cycles: List[float]
+    train_coarse: List[int]
+
+    @property
+    def name(self) -> str:
+        return self.design.name
+
+
+_BUNDLES: Dict[Tuple[str, float], BenchmarkBundle] = {}
+
+
+def bundle_for(name: str, scale: Optional[float] = None,
+               flow_config: FlowConfig = FlowConfig()) -> BenchmarkBundle:
+    """Build (or fetch the cached) bundle for one benchmark."""
+    if scale is None:
+        scale = default_config().scale
+    key = (name, scale)
+    if key not in _BUNDLES:
+        design = get_design(name)
+        workload = workload_for(name, scale=scale)
+        package = generate_predictor(design, workload.train, flow_config)
+        test_records = build_job_records(design, package, workload.test)
+        train_coarse = [
+            design.encode_job(item).coarse_param for item in workload.train
+        ]
+        _BUNDLES[key] = BenchmarkBundle(
+            design=design,
+            workload=workload,
+            package=package,
+            test_records=test_records,
+            train_cycles=[float(c) for c in package.train_matrix.cycles],
+            train_coarse=train_coarse,
+        )
+    return _BUNDLES[key]
+
+
+def clear_bundle_cache() -> None:
+    """Drop all cached bundles (tests and memory pressure)."""
+    _BUNDLES.clear()
+
+
+@dataclass
+class TechContext:
+    """A bundle specialized to one implementation technology."""
+
+    bundle: BenchmarkBundle
+    tech: str  # "asic" | "fpga"
+    levels: LevelTable
+    energy_model: EnergyModel
+    slice_energy_model: EnergyModel
+    config: ExperimentConfig
+
+    @property
+    def name(self) -> str:
+        return self.bundle.name
+
+    def task(self, deadline: Optional[float] = None) -> Task:
+        """A Task with the configured (or overridden) deadline."""
+        return Task(self.bundle.name,
+                    deadline if deadline is not None
+                    else self.config.deadline)
+
+
+def tech_context(bundle: BenchmarkBundle, tech: str = "asic",
+                 config: Optional[ExperimentConfig] = None) -> TechContext:
+    """Build the ASIC or FPGA evaluation context for a bundle."""
+    config = config or default_config()
+    f0 = bundle.design.nominal_frequency
+    if tech == "asic":
+        vf = AsicVfModel.characterize(f0)
+        levels = build_level_table(vf, ASIC_VOLTAGES)
+        energy = AsicEnergyModel.from_netlist(bundle.package.netlist)
+        slice_energy = AsicEnergyModel.from_netlist(
+            bundle.package.hw_slice.netlist)
+    elif tech == "fpga":
+        vf = FpgaVfModel(f_nominal=f0)
+        levels = build_level_table(vf, FPGA_VOLTAGES)
+        energy = FpgaEnergyModel.from_netlist(bundle.package.netlist)
+        slice_energy = FpgaEnergyModel.from_netlist(
+            bundle.package.hw_slice.netlist)
+    else:
+        raise ValueError(f"unknown tech {tech!r}")
+    return TechContext(
+        bundle=bundle, tech=tech, levels=levels,
+        energy_model=energy, slice_energy_model=slice_energy,
+        config=config,
+    )
+
+
+def make_controller(ctx: TechContext, scheme: str) -> Controller:
+    """Instantiate one of the paper's schemes by name."""
+    cfg = ctx.config
+    if scheme == "baseline":
+        return ConstantFrequencyController(ctx.levels)
+    if scheme == "table":
+        training = [
+            JobRecord(index=i, actual_cycles=int(c),
+                      activity=None or _dummy_activity(int(c)),
+                      coarse_param=p)
+            for i, (c, p) in enumerate(
+                zip(ctx.bundle.train_cycles, ctx.bundle.train_coarse))
+        ]
+        return TableBasedController.from_training(
+            ctx.levels, cfg.t_switch, training)
+    if scheme == "pid":
+        return PidController.tuned(
+            ctx.levels, cfg.t_switch, ctx.bundle.train_cycles,
+            margin=cfg.pid_margin)
+    if scheme == "history":
+        return HistoryController(ctx.levels, cfg.t_switch,
+                                 margin=cfg.pid_margin)
+    if scheme == "governor":
+        return IntervalGovernorController(ctx.levels, cfg.t_switch)
+    if scheme == "prediction":
+        return PredictiveController(ctx.levels, cfg.t_switch,
+                                    margin=cfg.prediction_margin)
+    if scheme == "prediction_boost":
+        return PredictiveController(ctx.levels, cfg.t_switch,
+                                    margin=cfg.prediction_margin,
+                                    boost=True)
+    if scheme == "prediction_no_overhead":
+        return PredictiveController(ctx.levels, cfg.t_switch,
+                                    margin=cfg.prediction_margin,
+                                    charge_overheads=False)
+    if scheme == "oracle":
+        return OracleController(ctx.levels)
+    raise KeyError(f"unknown scheme {scheme!r}")
+
+
+def _dummy_activity(cycles: int):
+    from ..dvfs.energy import JobActivity
+    return JobActivity(cycles=cycles)
+
+
+def run_scheme(ctx: TechContext, scheme: str,
+               deadline: Optional[float] = None) -> EpisodeResult:
+    """Run one controller over the bundle's test jobs."""
+    controller = make_controller(ctx, scheme)
+    return run_episode(
+        controller,
+        ctx.bundle.test_records,
+        ctx.task(deadline),
+        ctx.energy_model,
+        slice_energy_model=ctx.slice_energy_model,
+        t_switch=ctx.config.t_switch,
+    )

@@ -1,0 +1,46 @@
+"""Shared scheme-comparison harness for Figs 11, 13, 14, 15, 16."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..runtime import SchemeSummary, average_summaries, summarize
+from ..workloads import ALL_BENCHMARKS
+from .runner import bundle_for, run_scheme, tech_context
+from .setup import default_config
+
+
+def compare_schemes(schemes: Sequence[str],
+                    tech: str = "asic",
+                    scale: Optional[float] = None,
+                    deadline_factor: float = 1.0,
+                    benchmarks: Sequence[str] = ALL_BENCHMARKS
+                    ) -> List[SchemeSummary]:
+    """Run each scheme on each benchmark; energy normalized to the
+    baseline run on the same jobs and deadline.  Appends the figures'
+    'average' row per scheme."""
+    config = default_config()
+    deadline = config.deadline * deadline_factor
+    summaries: List[SchemeSummary] = []
+    for name in benchmarks:
+        ctx = tech_context(bundle_for(name, scale), tech=tech,
+                           config=config)
+        baseline = run_scheme(ctx, "baseline", deadline=deadline)
+        for scheme in schemes:
+            if scheme == "baseline":
+                result = baseline
+            else:
+                result = run_scheme(ctx, scheme, deadline=deadline)
+            summaries.append(summarize(name, result, baseline))
+    for scheme in schemes:
+        summaries.append(average_summaries(summaries, scheme))
+    return summaries
+
+
+def average_row(summaries: Sequence[SchemeSummary],
+                scheme: str) -> SchemeSummary:
+    """The 'average' summary row for one scheme."""
+    for s in summaries:
+        if s.benchmark == "average" and s.scheme == scheme:
+            return s
+    raise KeyError(f"no average row for {scheme!r}")

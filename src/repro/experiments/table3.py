@@ -1,0 +1,52 @@
+"""Table 3: summary of benchmarks and workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..accelerators import get_design
+from ..workloads import ALL_BENCHMARKS, workload_for
+from .setup import default_config
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    benchmark: str
+    description: str
+    task: str
+    train_workload: str
+    test_workload: str
+
+
+def run(scale: Optional[float] = None) -> List[Table3Row]:
+    """Benchmark/workload summary rows."""
+    scale = scale if scale is not None else default_config().scale
+    rows = []
+    for name in ALL_BENCHMARKS:
+        design = get_design(name)
+        workload = workload_for(name, scale=scale)
+        rows.append(Table3Row(
+            benchmark=name,
+            description=design.description,
+            task=design.task_description,
+            train_workload=workload.train_description,
+            test_workload=workload.test_description,
+        ))
+    return rows
+
+
+def to_text(rows: List[Table3Row]) -> str:
+    """Render the result the way the paper's figure reads."""
+    header = ("Bmark.", "Description", "Task", "Workload (Train)",
+              "Workload (Test)")
+    table = [header] + [
+        (r.benchmark, r.description, r.task, r.train_workload,
+         r.test_workload)
+        for r in rows
+    ]
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in table
+    )

@@ -1,0 +1,70 @@
+"""Table 4: ASIC implementation results (area, frequency, exec-time
+statistics at nominal voltage)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..rtl import tech
+from ..units import MHZ, MS
+from ..workloads import ALL_BENCHMARKS
+from .runner import bundle_for
+
+#: The paper's Table 4, for side-by-side comparison in reports:
+#: name -> (area um^2, freq MHz, max ms, avg ms, min ms).
+PAPER_TABLE4 = {
+    "h264": (659506, 250, 11.46, 7.56, 6.50),
+    "cjpeg": (175225, 250, 13.90, 5.22, 0.88),
+    "djpeg": (394635, 250, 14.79, 3.78, 1.82),
+    "md": (31791, 455, 15.52, 7.11, 0.80),
+    "stencil": (10140, 602, 15.97, 5.92, 1.41),
+    "aes": (56121, 500, 16.19, 4.62, 1.94),
+    "sha": (19740, 500, 12.94, 4.11, 1.11),
+}
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    benchmark: str
+    area_um2: float
+    freq_mhz: float
+    max_ms: float
+    avg_ms: float
+    min_ms: float
+
+
+def run(scale: Optional[float] = None) -> List[Table4Row]:
+    """ASIC area/frequency/execution-time rows."""
+    rows = []
+    for name in ALL_BENCHMARKS:
+        bundle = bundle_for(name, scale)
+        f0 = bundle.design.nominal_frequency
+        times_ms = [
+            r.actual_cycles / f0 / MS for r in bundle.test_records
+        ]
+        rows.append(Table4Row(
+            benchmark=name,
+            area_um2=tech.asic_area(bundle.package.netlist),
+            freq_mhz=f0 / MHZ,
+            max_ms=max(times_ms),
+            avg_ms=sum(times_ms) / len(times_ms),
+            min_ms=min(times_ms),
+        ))
+    return rows
+
+
+def to_text(rows: List[Table4Row]) -> str:
+    """Render the result the way the paper's figure reads."""
+    lines = [
+        f"{'Bench':8s} {'Area(um2)':>10s} {'Freq(MHz)':>9s} "
+        f"{'Max(ms)':>8s} {'Avg(ms)':>8s} {'Min(ms)':>8s}   [paper]"
+    ]
+    for r in rows:
+        paper = PAPER_TABLE4[r.benchmark]
+        lines.append(
+            f"{r.benchmark:8s} {r.area_um2:10.0f} {r.freq_mhz:9.0f} "
+            f"{r.max_ms:8.2f} {r.avg_ms:8.2f} {r.min_ms:8.2f}   "
+            f"[{paper[0]}, {paper[1]}MHz, {paper[2]}/{paper[3]}/{paper[4]}]"
+        )
+    return "\n".join(lines)

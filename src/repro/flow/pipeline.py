@@ -1,0 +1,159 @@
+"""The design-time flow of Fig 6: from RTL to a generated predictor.
+
+``generate_predictor`` runs the complete offline pipeline on a design:
+
+1. synthesize the behavioural module ("behavioral RTL -> structural");
+2. detect FSMs and counters structurally, derive candidate features;
+3. simulate the training workload on the instrumented design to get
+   per-job feature values and execution times;
+4. fit the asymmetric-Lasso model and keep the selected features;
+5. slice the hardware down to the selected features' logic and elide
+   the waits of removed computation.
+
+The result bundles everything the online half needs: the runnable
+slice, the linear model in raw feature space, and the static costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..accelerators.base import AcceleratorDesign, JobInput
+from ..analysis import (
+    FeatureMatrix,
+    FeatureRecorder,
+    FeatureSet,
+    discover_features,
+    record_jobs,
+)
+from ..model import (
+    LinearPredictor,
+    TrainedModel,
+    TrainingConfig,
+    fit_predictor,
+    select_gamma,
+)
+from ..rtl.compiled import compile_module
+from ..rtl.lint import errors_only, lint_module
+from ..rtl.module import Module
+from ..rtl.netlist import Netlist
+from ..rtl.simulator import Simulation
+from ..rtl.synth import synthesize
+from ..slicing import HardwareSlice, SliceCost, build_slice, compute_slice_cost
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Knobs of the offline flow."""
+
+    alpha: float = 8.0
+    gamma: Optional[float] = None     # None: pick via the Lasso path
+    auto_gamma_slack: float = 0.5     # pct-points tolerance on the path
+    refit: bool = True
+    lint: bool = True                 # reject designs with lint errors
+
+    def training_config(self, gamma: float) -> TrainingConfig:
+        """The TrainingConfig for a concrete gamma."""
+        return TrainingConfig(alpha=self.alpha, gamma=gamma,
+                              refit=self.refit)
+
+
+@dataclass
+class GeneratedPredictor:
+    """Everything the online system needs for one accelerator."""
+
+    design_name: str
+    module: Module                # the full accelerator
+    netlist: Netlist              # full synthesized netlist
+    feature_set: FeatureSet       # all candidate features
+    model: TrainedModel
+    hw_slice: HardwareSlice
+    slice_cost: SliceCost
+    train_matrix: FeatureMatrix
+    gamma: float
+    compiled_module: Optional[Module] = None  # fast simulation clone
+    compiled_slice: Optional[Module] = None
+
+    def simulation_module(self) -> Module:
+        """The module evaluation should simulate (compiled if built)."""
+        return self.compiled_module or self.module
+
+    @property
+    def predictor(self) -> LinearPredictor:
+        return self.model.predictor
+
+    @property
+    def n_candidate_features(self) -> int:
+        return len(self.feature_set)
+
+    @property
+    def n_selected_features(self) -> int:
+        return self.predictor.n_terms
+
+    def run_slice(self, job: JobInput,
+                  max_cycles: int = 50_000_000) -> Tuple[float, int]:
+        """Execute the hardware slice on a job's input.
+
+        Returns (predicted execution cycles, slice execution cycles) —
+        the online half of Fig 6.
+        """
+        recorder = FeatureRecorder(self.feature_set)
+        sim = Simulation(self.compiled_slice or self.hw_slice.module,
+                         listener=recorder, track_state_cycles=False)
+        sim.load(*job.as_pair(), ignore_unknown=True)
+        result = sim.run(max_cycles=max_cycles)
+        if not result.finished:
+            raise RuntimeError(
+                f"slice of {self.design_name} did not finish"
+            )
+        predicted = self.predictor.predict_one(recorder.vector())
+        return max(predicted, 0.0), result.cycles
+
+
+def generate_predictor(design: AcceleratorDesign,
+                       train_items: Sequence,
+                       config: FlowConfig = FlowConfig()
+                       ) -> GeneratedPredictor:
+    """Run the full offline flow for one accelerator design."""
+    module = design.build()
+    if config.lint:
+        errors = errors_only(lint_module(module))
+        if errors:
+            raise ValueError(
+                f"design {design.name} has lint errors: "
+                + "; ".join(str(e) for e in errors)
+            )
+    netlist = synthesize(module)
+    feature_set = discover_features(module, netlist)
+    compiled = compile_module(module)
+    jobs = [design.encode_job(item).as_pair() for item in train_items]
+    matrix = record_jobs(compiled, feature_set, jobs)
+
+    if config.gamma is None:
+        gamma, _ = select_gamma(matrix, alpha=config.alpha,
+                                accuracy_slack=config.auto_gamma_slack)
+    else:
+        gamma = config.gamma
+    model = fit_predictor(matrix, config.training_config(gamma))
+
+    selected_specs = [
+        feature_set.specs[i] for i in model.predictor.selected_indices
+    ]
+    hw_slice = build_slice(module, selected_specs)
+    cost = compute_slice_cost(netlist, hw_slice.netlist)
+    return GeneratedPredictor(
+        design_name=design.name,
+        module=module,
+        netlist=netlist,
+        feature_set=feature_set,
+        model=model,
+        hw_slice=hw_slice,
+        slice_cost=cost,
+        train_matrix=matrix,
+        gamma=gamma,
+        compiled_module=compiled,
+        compiled_slice=compile_module(hw_slice.module),
+    )

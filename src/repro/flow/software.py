@@ -1,0 +1,96 @@
+"""Software-based predictors (Sec. 4.5 of the paper).
+
+Accelerators with a software implementation of the same function (HLS
+sources, or e.g. ffmpeg for H.264) can run the *predictor* on the CPU
+instead of building a hardware slice: the sliced C program executes on
+a core while the accelerator is idle, then the DVFS level is set from
+its output.
+
+The CPU cost model charges a per-statement instruction count times a
+CPI at the core's clock; the result is a prediction plus the software
+overhead time to subtract from the budget (taking the hardware slice's
+place in the DVFS model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..accelerators.base import JobInput
+from ..accelerators.hls_models import SOFTWARE_PROGRAMS
+from ..model import LinearPredictor
+from ..slicing.hls import Program, program_slice
+from ..units import GHZ
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """A simple mobile-core cost model for the software predictor."""
+
+    frequency: float = 1.5 * GHZ
+    cpi: float = 1.2
+    instructions_per_scalar_stmt: float = 4.0
+    instructions_per_element: float = 7.0  # load, extract, MAC, loop
+    call_overhead_instructions: float = 400.0
+
+    def runtime(self, program: Program,
+                arrays: Mapping[str, Sequence[int]]) -> float:
+        """Wall-clock seconds to run ``program`` once on this core."""
+        instructions = self.call_overhead_instructions
+        for stmt in program.statements:
+            if stmt.array is None:
+                instructions += self.instructions_per_scalar_stmt
+            else:
+                trips = len(arrays.get(stmt.array, ()))
+                instructions += trips * self.instructions_per_element
+        return instructions * self.cpi / self.frequency
+
+
+@dataclass
+class SoftwarePredictor:
+    """A CPU-executed execution-time predictor for one accelerator."""
+
+    design_name: str
+    program: Program
+    feature_vars: Dict[str, str]
+    model: LinearPredictor
+    cpu: CpuModel
+
+    @classmethod
+    def build(cls, design_name: str, model: LinearPredictor,
+              cpu: CpuModel = CpuModel()) -> "SoftwarePredictor":
+        """Slice the software implementation down to the features the
+        trained model selected."""
+        if design_name not in SOFTWARE_PROGRAMS:
+            raise KeyError(
+                f"{design_name} has no software implementation; "
+                f"available: {sorted(SOFTWARE_PROGRAMS)}"
+            )
+        program, mapping = SOFTWARE_PROGRAMS[design_name]()
+        selected = set(model.selected_features)
+        wanted = {f: v for f, v in mapping.items() if f in selected}
+        if not wanted:
+            wanted = dict(list(mapping.items())[:1])
+        sliced = program_slice(program, list(wanted.values()))
+        return cls(
+            design_name=design_name,
+            program=sliced,
+            feature_vars=wanted,
+            model=model,
+            cpu=cpu,
+        )
+
+    def predict(self, job: JobInput) -> Tuple[float, float]:
+        """Returns (predicted execution cycles, CPU overhead seconds)."""
+        env = self.program.evaluate(job.inputs, job.memories)
+        vector = np.array([
+            env[self.feature_vars[name]] if name in self.feature_vars
+            else 0.0
+            for name in self.model.feature_names
+        ])
+        predicted = max(self.model.predict_one(vector), 0.0)
+        overhead = self.cpu.runtime(self.program, job.memories)
+        return predicted, overhead

@@ -1,0 +1,118 @@
+"""Predictor export: hand the trained model to other toolchains.
+
+Two formats:
+
+* **JSON** — lossless round-trip of a :class:`LinearPredictor`
+  (feature names, coefficients, intercept), for archiving a trained
+  model next to its workload trace;
+* **C header** — the fixed-point coefficient table a hardware MAC
+  array (or the driver programming it) consumes, generated from a
+  :class:`QuantizedPredictor`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .linear import LinearPredictor
+from .quantize import QuantizedPredictor
+
+FORMAT_VERSION = 1
+
+
+def predictor_to_json(predictor: LinearPredictor) -> str:
+    """Serialize a predictor losslessly."""
+    return json.dumps({
+        "version": FORMAT_VERSION,
+        "feature_names": list(predictor.feature_names),
+        "coeffs": [float(c) for c in predictor.coeffs],
+        "intercept": float(predictor.intercept),
+    })
+
+
+def predictor_from_json(text: str) -> LinearPredictor:
+    """Reload a predictor written by :func:`predictor_to_json`."""
+    payload = json.loads(text)
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported predictor format {version!r}")
+    return LinearPredictor(
+        feature_names=tuple(payload["feature_names"]),
+        coeffs=np.asarray(payload["coeffs"], dtype=float),
+        intercept=float(payload["intercept"]),
+    )
+
+
+def save_predictor(predictor: LinearPredictor,
+                   path: Union[str, Path]) -> None:
+    """Write a predictor to a JSON file."""
+    Path(path).write_text(predictor_to_json(predictor))
+
+
+def load_predictor(path: Union[str, Path]) -> LinearPredictor:
+    """Read a predictor from a JSON file."""
+    return predictor_from_json(Path(path).read_text())
+
+
+def _c_identifier(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() else "_")
+    ident = "".join(out).strip("_").upper()
+    return ident or "F"
+
+
+def to_c_header(quantized: QuantizedPredictor,
+                symbol: str = "exec_time_model") -> str:
+    """Render the fixed-point model as a C header.
+
+    The generated arithmetic matches :meth:`QuantizedPredictor.predict`:
+    signed integer MACs into a 64-bit accumulator, then one arithmetic
+    shift right by the fraction width.
+    """
+    fmt = quantized.fmt
+    lines = [
+        "/* Generated execution-time prediction model.",
+        f" * Fixed point: Q{fmt.integer_bits}.{fmt.fraction_bits} "
+        f"(scale {fmt.scale}).",
+        " * predicted_cycles =",
+        f" *   (intercept + sum(feature[i] * coeff[i])) >> "
+        f"{fmt.fraction_bits}",
+        " */",
+        "#ifndef EXEC_TIME_MODEL_H",
+        "#define EXEC_TIME_MODEL_H",
+        "",
+        "#include <stdint.h>",
+        "",
+        f"#define {symbol.upper()}_N_FEATURES "
+        f"{len(quantized.raw_coeffs)}",
+        f"#define {symbol.upper()}_FRACTION_BITS {fmt.fraction_bits}",
+        "",
+        "/* Feature order: */",
+    ]
+    for i, name in enumerate(quantized.feature_names):
+        lines.append(f"/*  [{i:3d}] {name} */")
+    lines.append("")
+    lines.append(f"static const int64_t {symbol}_intercept = "
+                 f"{quantized.raw_intercept};")
+    lines.append(f"static const int32_t {symbol}_coeffs"
+                 f"[{len(quantized.raw_coeffs)}] = {{")
+    for raw, name in zip(quantized.raw_coeffs, quantized.feature_names):
+        lines.append(f"    {raw:>12d}, /* {_c_identifier(name)} */")
+    lines.append("};")
+    lines.append("")
+    lines.append(f"""static inline int64_t {symbol}_predict(
+        const int64_t features[{symbol.upper()}_N_FEATURES]) {{
+    int64_t acc = {symbol}_intercept;
+    for (int i = 0; i < {symbol.upper()}_N_FEATURES; i++) {{
+        acc += features[i] * (int64_t){symbol}_coeffs[i];
+    }}
+    return acc >> {symbol.upper()}_FRACTION_BITS;
+}}""")
+    lines.append("")
+    lines.append("#endif /* EXEC_TIME_MODEL_H */")
+    return "\n".join(lines) + "\n"

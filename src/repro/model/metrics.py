@@ -1,0 +1,85 @@
+"""Prediction-quality metrics, including Figure 10's box statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def percent_errors(predicted: np.ndarray, actual: np.ndarray) -> np.ndarray:
+    """Signed percent errors: positive = over-prediction (safe side)."""
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.shape != actual.shape:
+        raise ValueError("shape mismatch")
+    return (predicted - actual) / np.maximum(actual, 1e-12) * 100.0
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Box-and-whisker summary matching the paper's Fig 10 convention:
+    box from Q1 to Q3 with the median marked; whiskers extend to the
+    most extreme points within 1.5 IQR; everything beyond is an
+    outlier."""
+
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "BoxStats":
+        data = np.asarray(list(samples), dtype=float)
+        if data.size == 0:
+            raise ValueError("no samples")
+        q1, median, q3 = np.percentile(data, [25, 50, 75])
+        iqr = q3 - q1
+        low_limit = q1 - 1.5 * iqr
+        high_limit = q3 + 1.5 * iqr
+        inside = data[(data >= low_limit) & (data <= high_limit)]
+        whisker_low = float(inside.min()) if inside.size else float(q1)
+        whisker_high = float(inside.max()) if inside.size else float(q3)
+        outliers = tuple(
+            float(v) for v in data[(data < low_limit) | (data > high_limit)]
+        )
+        return cls(
+            median=float(median), q1=float(q1), q3=float(q3),
+            whisker_low=whisker_low, whisker_high=whisker_high,
+            outliers=outliers,
+        )
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """Aggregate accuracy summary for one benchmark."""
+
+    n_jobs: int
+    mean_abs_pct: float
+    max_over_pct: float
+    max_under_pct: float  # reported as a positive magnitude
+    under_rate: float     # fraction of jobs under-predicted
+    box: BoxStats
+
+    @classmethod
+    def from_predictions(cls, predicted: np.ndarray,
+                         actual: np.ndarray) -> "PredictionReport":
+        errors = percent_errors(predicted, actual)
+        under = errors[errors < 0]
+        over = errors[errors > 0]
+        return cls(
+            n_jobs=int(errors.size),
+            mean_abs_pct=float(np.mean(np.abs(errors))),
+            max_over_pct=float(over.max()) if over.size else 0.0,
+            max_under_pct=float(-under.min()) if under.size else 0.0,
+            under_rate=float(under.size) / max(errors.size, 1),
+            box=BoxStats.from_samples(errors),
+        )
+
+
+def worst_case_error_pct(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Largest |percent error| — the paper's case-study headline metric."""
+    return float(np.max(np.abs(percent_errors(predicted, actual))))

@@ -1,0 +1,116 @@
+"""The paper's convex training objective (Sec. 3.4).
+
+.. math::
+
+    \\min_\\beta \\; \\|pos(X\\beta - y)\\|^2
+        + \\alpha \\|neg(X\\beta - y)\\|^2
+        + \\gamma \\|\\beta\\|_1
+
+with :math:`pos(x) = max(x, 0)`, :math:`neg(x) = max(-x, 0)` and
+:math:`\\alpha > 1` weighting *under*-predictions (negative residuals
+cause deadline misses) more heavily than over-predictions.
+
+The first two terms form a once-differentiable convex quadratic-spline
+loss; the L1 term is handled by the proximal step of the solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AsymmetricLassoObjective:
+    """Smooth part + L1 weights of the training objective.
+
+    Args:
+        x: design matrix (n_jobs, n_coeffs).
+        y: observed execution times (n_jobs,).
+        alpha: under-prediction penalty weight (>= 1).
+        gamma: L1 penalty weight (>= 0).
+        penalize: per-coefficient L1 mask (False for the intercept).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    alpha: float
+    gamma: float
+    penalize: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1, got {self.alpha}")
+        if self.gamma < 0.0:
+            raise ValueError(f"gamma must be >= 0, got {self.gamma}")
+        if self.x.ndim != 2 or self.y.ndim != 1:
+            raise ValueError("x must be 2-D and y 1-D")
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ValueError("x and y disagree on sample count")
+        if self.penalize.shape != (self.x.shape[1],):
+            raise ValueError("penalize mask must have one entry per coeff")
+
+    @property
+    def n_coeffs(self) -> int:
+        return self.x.shape[1]
+
+    def residual_weights(self, residuals: np.ndarray) -> np.ndarray:
+        """1 for over-predictions, alpha for under-predictions."""
+        return np.where(residuals >= 0.0, 1.0, self.alpha)
+
+    def smooth_value(self, beta: np.ndarray) -> float:
+        """The asymmetric squared loss (without the L1 term)."""
+        r = self.x @ beta - self.y
+        w = self.residual_weights(r)
+        return float(np.sum(w * r * r))
+
+    def smooth_grad(self, beta: np.ndarray) -> np.ndarray:
+        """Gradient of the asymmetric squared loss."""
+        r = self.x @ beta - self.y
+        w = self.residual_weights(r)
+        return 2.0 * (self.x.T @ (w * r))
+
+    def l1_value(self, beta: np.ndarray) -> float:
+        """The gamma-weighted L1 penalty of the coefficients."""
+        return float(self.gamma * np.sum(np.abs(beta[self.penalize])))
+
+    def value(self, beta: np.ndarray) -> float:
+        """The full objective: smooth loss plus L1 penalty."""
+        return self.smooth_value(beta) + self.l1_value(beta)
+
+    def lipschitz(self) -> float:
+        """An upper bound on the smooth part's gradient Lipschitz const.
+
+        The Hessian is bounded by ``2 * alpha * X^T X``; its largest
+        eigenvalue is ``2 * alpha * sigma_max(X)^2``.
+        """
+        if self.x.size == 0:
+            return 1.0
+        sigma = np.linalg.norm(self.x, 2)
+        return max(2.0 * self.alpha * sigma * sigma, 1e-12)
+
+    def prox(self, beta: np.ndarray, step: float) -> np.ndarray:
+        """Soft-threshold the penalized coefficients."""
+        if self.gamma == 0.0:
+            return beta
+        threshold = self.gamma * step
+        out = beta.copy()
+        p = self.penalize
+        out[p] = np.sign(beta[p]) * np.maximum(np.abs(beta[p]) - threshold,
+                                               0.0)
+        return out
+
+
+def make_objective(x: np.ndarray, y: np.ndarray, alpha: float, gamma: float,
+                   intercept_col: Optional[int] = None
+                   ) -> AsymmetricLassoObjective:
+    """Build an objective, optionally exempting one column from L1."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    penalize = np.ones(x.shape[1], dtype=bool)
+    if intercept_col is not None:
+        penalize[intercept_col] = False
+    return AsymmetricLassoObjective(x=x, y=y, alpha=alpha, gamma=gamma,
+                                    penalize=penalize)

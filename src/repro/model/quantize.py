@@ -1,0 +1,126 @@
+"""Fixed-point quantization of the prediction model.
+
+The paper's runtime predictor is "a series of multiply accumulate
+operations" in hardware — which means fixed-point coefficients, not
+floats.  This module quantizes a trained :class:`LinearPredictor` to a
+signed Qm.n format, reports the representation error, and provides the
+quantized predictor (whose ``predict`` uses only integer arithmetic,
+exactly what the MAC array would compute).
+
+The ablation bench sweeps the fraction width to find where accuracy
+degrades — in practice a handful of fraction bits suffice because
+feature values are large integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .linear import LinearPredictor
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point Qm.n: ``integer_bits`` + ``fraction_bits``
+    (plus sign)."""
+
+    integer_bits: int = 20
+    fraction_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 1 or self.fraction_bits < 0:
+            raise ValueError("need >=1 integer bit and >=0 fraction bits")
+
+    @property
+    def scale(self) -> int:
+        return 1 << self.fraction_bits
+
+    @property
+    def max_value(self) -> float:
+        return (1 << self.integer_bits) - 1 / self.scale
+
+    def quantize(self, value: float) -> int:
+        """Nearest representable raw integer (saturating)."""
+        raw = int(round(value * self.scale))
+        limit = (1 << (self.integer_bits + self.fraction_bits)) - 1
+        return max(-limit - 1, min(limit, raw))
+
+    def dequantize(self, raw: int) -> float:
+        """The real value a raw fixed-point integer encodes."""
+        return raw / self.scale
+
+
+@dataclass(frozen=True)
+class QuantizedPredictor:
+    """An integer-arithmetic view of a linear predictor.
+
+    ``raw_coeffs`` and ``raw_intercept`` are the fixed-point integers a
+    MAC array would hold; ``predict`` reproduces the hardware datapath:
+    integer multiply-accumulate followed by one final shift.
+    """
+
+    feature_names: Tuple[str, ...]
+    raw_coeffs: Tuple[int, ...]
+    raw_intercept: int
+    fmt: FixedPointFormat
+
+    def predict_one(self, x: Sequence[float]) -> float:
+        """Integer MAC over one feature vector, final shift last."""
+        accumulator = self.raw_intercept
+        for value, coeff in zip(x, self.raw_coeffs):
+            accumulator += int(value) * coeff
+        return accumulator / self.fmt.scale
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict one vector or a batch (rows)."""
+        x = np.asarray(x)
+        if x.ndim == 1:
+            return np.asarray(self.predict_one(x))
+        return np.array([self.predict_one(row) for row in x])
+
+    @property
+    def n_terms(self) -> int:
+        return sum(1 for c in self.raw_coeffs if c != 0)
+
+    def coefficient_error(self,
+                          original: LinearPredictor) -> float:
+        """Largest relative coefficient representation error."""
+        worst = 0.0
+        for raw, coeff in zip(self.raw_coeffs, original.coeffs):
+            if abs(coeff) < 1e-12:
+                continue
+            err = abs(self.fmt.dequantize(raw) - coeff) / abs(coeff)
+            worst = max(worst, err)
+        return worst
+
+
+def quantize_predictor(predictor: LinearPredictor,
+                       fmt: FixedPointFormat = FixedPointFormat()
+                       ) -> QuantizedPredictor:
+    """Quantize a trained model to fixed point."""
+    return QuantizedPredictor(
+        feature_names=predictor.feature_names,
+        raw_coeffs=tuple(fmt.quantize(c) for c in predictor.coeffs),
+        raw_intercept=fmt.quantize(predictor.intercept),
+        fmt=fmt,
+    )
+
+
+def quantization_sweep(predictor: LinearPredictor, x: np.ndarray,
+                       fraction_bits: Sequence[int] = (0, 2, 4, 8, 12)
+                       ) -> list:
+    """(fraction_bits, max |pct delta| vs float model) pairs."""
+    reference = predictor.predict(x)
+    points = []
+    for bits in fraction_bits:
+        fmt = FixedPointFormat(fraction_bits=bits)
+        quantized = quantize_predictor(predictor, fmt)
+        approx = quantized.predict(x)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            delta = np.abs(approx - reference) / np.maximum(
+                np.abs(reference), 1e-12) * 100
+        points.append((bits, float(np.max(delta))))
+    return points

@@ -1,0 +1,99 @@
+"""Model validation utilities: cross-validation and learning curves.
+
+The paper trains once on a fixed training workload.  These helpers let
+a user of the library answer the obvious follow-up questions — is the
+model over-fit?  how many training jobs does an accelerator need before
+the predictor is trustworthy? — without touching the flow internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..analysis.features import FeatureMatrix
+from .metrics import percent_errors
+from .training import TrainingConfig, fit_predictor
+
+
+@dataclass(frozen=True)
+class FoldResult:
+    """Held-out accuracy of one cross-validation fold."""
+
+    fold: int
+    n_train: int
+    n_test: int
+    mean_abs_pct: float
+    max_under_pct: float
+
+
+def cross_validate(matrix: FeatureMatrix,
+                   config: TrainingConfig = TrainingConfig(),
+                   k: int = 5, seed: int = 0) -> List[FoldResult]:
+    """K-fold cross-validation of the training configuration."""
+    n = matrix.n_jobs
+    if k < 2:
+        raise ValueError("need at least 2 folds")
+    if n < 2 * k:
+        raise ValueError(f"{n} jobs is too few for {k}-fold CV")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    results: List[FoldResult] = []
+    for i, test_idx in enumerate(folds):
+        train_idx = np.setdiff1d(order, test_idx)
+        train = FeatureMatrix(matrix.feature_set, matrix.x[train_idx],
+                              matrix.cycles[train_idx])
+        model = fit_predictor(train, config)
+        predicted = model.predictor.predict(matrix.x[test_idx])
+        errors = percent_errors(predicted, matrix.cycles[test_idx])
+        under = errors[errors < 0]
+        results.append(FoldResult(
+            fold=i,
+            n_train=len(train_idx),
+            n_test=len(test_idx),
+            mean_abs_pct=float(np.mean(np.abs(errors))),
+            max_under_pct=float(-under.min()) if under.size else 0.0,
+        ))
+    return results
+
+
+@dataclass(frozen=True)
+class LearningPoint:
+    """Held-out accuracy at one training-set size."""
+
+    n_train: int
+    mean_abs_pct: float
+
+
+def learning_curve(matrix: FeatureMatrix,
+                   config: TrainingConfig = TrainingConfig(),
+                   sizes: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
+                   seed: int = 0) -> List[LearningPoint]:
+    """Held-out error as a function of training-set size.
+
+    The last 20% of a shuffled split is always the evaluation set; each
+    point trains on a prefix of the remainder.
+    """
+    n = matrix.n_jobs
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_eval = max(n // 5, 1)
+    eval_idx = order[:n_eval]
+    pool = order[n_eval:]
+    points: List[LearningPoint] = []
+    for fraction in sizes:
+        take = max(int(round(len(pool) * fraction)), 2)
+        train_idx = pool[:take]
+        train = FeatureMatrix(matrix.feature_set, matrix.x[train_idx],
+                              matrix.cycles[train_idx])
+        model = fit_predictor(train, config)
+        predicted = model.predictor.predict(matrix.x[eval_idx])
+        errors = percent_errors(predicted, matrix.cycles[eval_idx])
+        points.append(LearningPoint(
+            n_train=take,
+            mean_abs_pct=float(np.mean(np.abs(errors))),
+        ))
+    return points

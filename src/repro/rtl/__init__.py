@@ -1,0 +1,49 @@
+"""Behavioural RTL IR, simulator, and structural synthesis substrate.
+
+This package is the reproduction's stand-in for the paper's Verilog +
+Yosys + RTL-simulation toolchain.  Accelerator designs are written
+against :class:`Module` (FSMs, counters, wires, registers, scratchpads,
+datapath blocks); :func:`synthesize` lowers a design to a structural
+:class:`Netlist`; :class:`Simulation` executes jobs cycle-accurately.
+"""
+
+from .compiled import CompiledExpr, compile_expr, compile_module
+from .counter import Counter, down_counter, up_counter
+from .dot import netlist_to_dot
+from .idioms import ItemLoop
+from .lint import LintFinding, errors_only, lint_module
+from .expr import (
+    BinOp,
+    Const,
+    Expr,
+    MemRead,
+    Mux,
+    Sig,
+    UnOp,
+    all_of,
+    any_of,
+    maximum,
+    minimum,
+    wrap,
+)
+from .fsm import Fsm, Transition
+from .module import DatapathBlock, Module
+from .netlist import Cell, Netlist, Provenance
+from .signals import Memory, Port, Reg, Update, Wire
+from .simulator import Listener, RunResult, Simulation
+from .synth import synthesize
+from .transform import derive_module
+from .verilog import to_verilog
+from .wave import VcdWriter
+
+__all__ = [
+    "BinOp", "Cell", "CompiledExpr", "Const", "Counter", "DatapathBlock",
+    "ItemLoop", "LintFinding", "VcdWriter", "errors_only", "lint_module",
+    "netlist_to_dot",
+    "Expr", "Fsm", "Listener", "MemRead", "Memory", "Module", "Mux",
+    "Netlist", "Port", "Provenance", "Reg", "RunResult", "Sig",
+    "Simulation", "Transition", "UnOp", "Update", "Wire", "all_of",
+    "any_of", "compile_expr", "compile_module", "derive_module",
+    "down_counter", "maximum", "minimum", "synthesize", "to_verilog",
+    "up_counter", "wrap",
+]

@@ -1,0 +1,147 @@
+"""Compiled simulation backend (the Verilator of this substrate).
+
+``compile_module`` returns a clone of a behavioural module in which
+every expression tree has been replaced by a :class:`CompiledExpr` —
+an expression whose ``eval`` is a Python function generated from the
+tree (via :func:`repro.rtl.expr.to_python`) and compiled once.  The
+clone is a drop-in replacement for simulation::
+
+    sim = Simulation(compile_module(design.build()))
+
+Everything else (two-phase semantics, fast-forward, listeners) is
+unchanged, because CompiledExpr still exposes ``signals()`` and
+``children()`` of the original tree for the static analyses.
+
+The interpreter walks expression objects node by node; the compiled
+form runs each tree as one flat Python expression, which is typically
+2-4x faster end to end.  The test suite checks cycle-exact equivalence
+between both backends on the benchmark designs.
+
+Note: compiled modules are for *simulation*; structural synthesis
+pattern-matches concrete node classes, so always synthesize the
+original module.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from .counter import Counter
+from .expr import Env, Expr, to_python
+from .fsm import Fsm
+from .module import Module
+from .signals import Update, Wire
+
+
+class CompiledExpr(Expr):
+    """An expression evaluated by generated code.
+
+    Keeps the original tree for structural queries (dependence
+    analyses, provenance) while ``eval`` dispatches straight to a
+    compiled function of the environment.
+    """
+
+    __slots__ = ("original", "_fn")
+
+    def __init__(self, original: Expr):
+        if isinstance(original, CompiledExpr):
+            original = original.original
+        self.original = original
+        source = to_python(original, env_name="env")
+        self._fn = eval(  # compiled once; pure expression over `env`
+            compile(f"lambda env: {source}", "<compiled-expr>", "eval"))
+
+    def eval(self, env: Env) -> int:
+        """Run the generated function on the environment."""
+        return self._fn(env)
+
+    def signals(self) -> FrozenSet[str]:
+        return self.original.signals()
+
+    def children(self) -> Tuple[Expr, ...]:
+        """The original tree's children (for analyses)."""
+        return self.original.children()
+
+    def __repr__(self) -> str:
+        return f"CompiledExpr({self.original!r})"
+
+
+def compile_expr(expr: Optional[Expr]) -> Optional[Expr]:
+    """Compile an expression; None passes through."""
+    if expr is None:
+        return None
+    return CompiledExpr(expr)
+
+
+def compile_module(module: Module) -> Module:
+    """A simulation-equivalent clone with compiled expressions."""
+    if not module.finalized:
+        raise ValueError(f"module {module.name} must be finalized first")
+    out = Module(f"{module.name}__compiled")
+    for port in module.ports.values():
+        out.port(port.name, port.width)
+    for mem in module.memories.values():
+        out.memory(mem.name, mem.depth, mem.width)
+    generated = {
+        fsm.transition_signal(t)
+        for fsm in module.fsms.values()
+        for t in fsm.transitions
+    }
+    for wire in module.wires.values():
+        if wire.name in generated:
+            continue  # regenerated (compiled) at finalize via the FSM
+        out.wire(wire.name, compile_expr(wire.expr), wire.width)
+    for reg in module.regs.values():
+        out.reg(reg.name, reg.width, reg.init)
+    for counter in module.counters.values():
+        out.counter(Counter(
+            name=counter.name,
+            width=counter.width,
+            mode=counter.mode,
+            load_cond=compile_expr(counter.load_cond),
+            load_value=compile_expr(counter.load_value),
+            enable=compile_expr(counter.enable),
+            step=counter.step,
+        ))
+    for fsm in module.fsms.values():
+        out.fsm(_compile_fsm(fsm))
+    for upd in module.updates:
+        out.updates.append(Update(
+            reg=upd.reg,
+            value=compile_expr(upd.value),
+            cond=compile_expr(upd.cond),
+            fsm=upd.fsm,
+            state=upd.state,
+        ))
+    for block in module.datapath_blocks:
+        out.datapath(block)
+    out.set_done(compile_expr(module.done_expr))
+    out.finalize()
+    # The finalize pass regenerated the transition-criteria wires from
+    # effective_cond; compile those too (they are evaluated every cycle
+    # as counter load conditions).
+    for name in list(out.wires):
+        wire = out.wires[name]
+        if not isinstance(wire.expr, CompiledExpr):
+            out.wires[name] = Wire(name, CompiledExpr(wire.expr),
+                                   wire.width)
+    return out
+
+
+def _compile_fsm(fsm: Fsm) -> Fsm:
+    clone = Fsm(fsm.name, fsm.initial)
+    for state in fsm.states:
+        clone.add_state(state)
+    for t in fsm.transitions:
+        clone.transition(
+            t.src, t.dst,
+            cond=compile_expr(t.cond),
+            actions=[(reg, compile_expr(value)) for reg, value in t.actions],
+        )
+    for state, counter in fsm.wait_states.items():
+        clone.wait_state(state, counter,
+                         feeds_control=state in fsm.control_waits)
+    for state, duration in fsm.dynamic_waits.items():
+        clone.dynamic_wait(state, compile_expr(duration),
+                           feeds_control=state in fsm.control_dynamic)
+    return clone

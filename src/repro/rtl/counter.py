@@ -1,0 +1,96 @@
+"""Behavioural counter construct.
+
+Counters are the paper's second feature source (Sec. 3.2): a control
+unit loads a counter with the latency of a computation and decrements it
+each cycle; the load count (IC), average initial value (AIV) and average
+pre-reset value (APV) summarize how much time the computation consumed.
+
+Two flavours exist:
+
+* ``down`` — loaded with a value, decrements to zero.  The canonical
+  "wait this many cycles" idiom; FSM wait states reference one of these.
+* ``up`` — counts up while enabled and is reset by a condition; its
+  pre-reset value is the interesting quantity (APV).
+
+Synthesis lowers counters to DFF + ADD/SUB + MUX + CMP cells so the
+structural counter detector has a realistic pattern to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .expr import Expr, wrap, ExprLike
+from .signals import mask_for
+
+
+@dataclass(frozen=True)
+class Counter:
+    """A hardware counter.
+
+    Attributes:
+        name: signal name of the counter value.
+        width: bit width (value is masked on load).
+        mode: ``"down"`` or ``"up"``.
+        load_cond: when truthy, the counter is (re)loaded (down counters)
+            or reset to zero (up counters treat this as the reset).
+        load_value: value loaded on ``load_cond`` (down counters only;
+            up counters always reset to zero).
+        enable: counting happens only while this is truthy (default: a
+            down counter counts whenever nonzero; an up counter counts
+            every cycle).
+        step: increment/decrement per enabled cycle (default 1).
+    """
+
+    name: str
+    width: int = 32
+    mode: str = "down"
+    load_cond: Optional[Expr] = None
+    load_value: Optional[Expr] = None
+    enable: Optional[Expr] = None
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        mask_for(self.width)
+        if self.mode not in ("down", "up"):
+            raise ValueError(f"counter mode must be down/up, got {self.mode!r}")
+        if self.mode == "down" and self.load_value is None:
+            raise ValueError("down counters need a load_value")
+        if self.mode == "down" and self.load_cond is None:
+            raise ValueError("down counters need a load_cond")
+        if self.step <= 0:
+            raise ValueError(f"counter step must be positive, got {self.step}")
+
+    @property
+    def mask(self) -> int:
+        return mask_for(self.width)
+
+
+def down_counter(name: str, load_cond: ExprLike, load_value: ExprLike,
+                 width: int = 32, enable: Optional[ExprLike] = None,
+                 step: int = 1) -> Counter:
+    """A decrementing wait counter (the common idiom)."""
+    return Counter(
+        name=name,
+        width=width,
+        mode="down",
+        load_cond=wrap(load_cond),
+        load_value=wrap(load_value),
+        enable=None if enable is None else wrap(enable),
+        step=step,
+    )
+
+
+def up_counter(name: str, reset_cond: ExprLike, width: int = 32,
+               enable: Optional[ExprLike] = None, step: int = 1) -> Counter:
+    """An incrementing counter reset by ``reset_cond``."""
+    return Counter(
+        name=name,
+        width=width,
+        mode="up",
+        load_cond=wrap(reset_cond),
+        load_value=None,
+        enable=None if enable is None else wrap(enable),
+        step=step,
+    )

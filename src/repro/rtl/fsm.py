@@ -1,0 +1,240 @@
+"""Finite State Machine construct for the behavioural RTL IR.
+
+FSMs are the paper's primary feature source: state-transition counts
+(STC) summarize the control decisions a job's input induced (Sec. 3.2).
+
+Semantics (uniform, no special cases):
+
+* The FSM owns a state register ``<name>__state``.
+* Each cycle, the transitions out of the current state are evaluated in
+  declaration order; the first whose condition holds is taken.
+* A *wait state* is a state tied to a down counter; its outgoing
+  transitions are automatically gated with ``counter == 0`` so the FSM
+  sits in the state until the counter expires.  This is the canonical
+  "computation takes N cycles" idiom, and is what the simulator can
+  fast-forward and the slicer's wait-elision pass can remove.
+* A *dynamic wait state* stalls for a number of cycles computed from an
+  expression at entry — e.g. a serial Huffman decode whose duration is
+  visible only bit-by-bit.  Structurally this lowers to opaque serial
+  logic with no extractable counter, so the feature detector cannot see
+  its duration (this reproduces the paper's djpeg error source).
+
+On taking a transition, its *entry actions* (register assignments,
+evaluated against the pre-transition environment) are committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .expr import BinOp, Const, Expr, Sig, UnOp, wrap, ExprLike
+
+Action = Tuple[str, Expr]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One arc of the FSM transition table."""
+
+    src: str
+    dst: str
+    cond: Optional[Expr]  # None == always taken (default arc)
+    actions: Tuple[Action, ...] = ()
+    index: int = 0  # global declaration index within the FSM
+
+
+class Fsm:
+    """A finite state machine with named states.
+
+    States are registered explicitly via :meth:`add_state` or implicitly
+    by being mentioned in a transition.  State codes are assigned in
+    registration order.
+    """
+
+    def __init__(self, name: str, initial: str):
+        if not name:
+            raise ValueError("FSM name must be non-empty")
+        self.name = name
+        self.initial = initial
+        self._states: Dict[str, int] = {}
+        self.transitions: List[Transition] = []
+        self.wait_states: Dict[str, str] = {}  # state -> down counter name
+        self.control_waits: set = set()  # wait states whose work feeds control
+        self.dynamic_waits: Dict[str, Expr] = {}  # state -> duration expr
+        self.control_dynamic: set = set()  # dynamic waits feeding control
+        self.add_state(initial)
+
+    # -- construction --------------------------------------------------
+    def add_state(self, state: str) -> None:
+        """Register a state (codes assigned in order)."""
+        if not state:
+            raise ValueError("state name must be non-empty")
+        if state not in self._states:
+            self._states[state] = len(self._states)
+
+    def transition(self, src: str, dst: str,
+                   cond: Optional[ExprLike] = None,
+                   actions: Sequence[Tuple[str, ExprLike]] = ()) -> None:
+        """Add an arc ``src -> dst`` taken when ``cond`` holds.
+
+        ``cond=None`` adds a default arc (always taken once reached in
+        priority order).  ``actions`` are (register, value) pairs
+        committed when the arc fires.
+        """
+        self.add_state(src)
+        self.add_state(dst)
+        wrapped = tuple((reg, wrap(value)) for reg, value in actions)
+        self.transitions.append(Transition(
+            src=src,
+            dst=dst,
+            cond=None if cond is None else wrap(cond),
+            actions=wrapped,
+            index=len(self.transitions),
+        ))
+
+    def wait_state(self, state: str, counter: str,
+                   feeds_control: bool = False) -> None:
+        """Declare ``state`` as a wait on down counter ``counter``.
+
+        ``feeds_control=True`` marks waits whose underlying work
+        produces values the control logic consumes (e.g. a serial
+        bitstream parser filling descriptor registers).  The slicer must
+        retain such waits; ordinary waits (pure datapath computation)
+        are elidable.
+        """
+        self.add_state(state)
+        if state in self.dynamic_waits:
+            raise ValueError(f"state {state} is already a dynamic wait")
+        self.wait_states[state] = counter
+        if feeds_control:
+            self.control_waits.add(state)
+
+    def dynamic_wait(self, state: str, cycles: ExprLike,
+                     feeds_control: bool = False) -> None:
+        """Declare ``state`` as a data-dependent stall of ``cycles``.
+
+        The expression is evaluated once on entry.  No counter exists
+        structurally, so the duration is invisible to feature
+        extraction.  ``feeds_control=True`` marks stalls whose serial
+        work produces values downstream control consumes (e.g. Huffman
+        decode revealing coefficient counts): the slice must keep their
+        timing.
+        """
+        self.add_state(state)
+        if state in self.wait_states:
+            raise ValueError(f"state {state} is already a counter wait")
+        self.dynamic_waits[state] = wrap(cycles)
+        if feeds_control:
+            self.control_dynamic.add(state)
+
+    # -- queries --------------------------------------------------------
+    @property
+    def states(self) -> Dict[str, int]:
+        return dict(self._states)
+
+    @property
+    def state_signal(self) -> str:
+        """Name of the state register signal."""
+        return f"{self.name}__state"
+
+    @property
+    def dynbusy_signal(self) -> str:
+        """Name of the 'dynamic wait in progress' signal.
+
+        Exists only when the FSM has dynamic waits; it is the output of
+        the opaque serial-control logic (a SEQCTL macro structurally)
+        and gates arcs leaving dynamic-wait states.
+        """
+        return f"{self.name}__dynbusy"
+
+    def code_of(self, state: str) -> int:
+        """The integer encoding of a state."""
+        return self._states[state]
+
+    def transitions_from(self, src: str) -> List[Transition]:
+        """All arcs leaving ``src``, in priority order."""
+        return [t for t in self.transitions if t.src == src]
+
+    def transition_signal(self, t: Transition) -> str:
+        """Name of the auto-generated 'transition fires' wire."""
+        return f"{self.name}__t{t.index}__{t.src}__{t.dst}"
+
+    def arc_signal(self, src: str, dst: str) -> Sig:
+        """The 'arc fires' wire for the unique transition ``src -> dst``.
+
+        Designs use this as the load condition of wait counters: the
+        counter loads exactly when the FSM enters the wait state.
+        """
+        matches = [t for t in self.transitions
+                   if t.src == src and t.dst == dst]
+        if not matches:
+            raise KeyError(f"FSM {self.name}: no arc {src} -> {dst}")
+        if len(matches) > 1:
+            raise KeyError(f"FSM {self.name}: multiple arcs {src} -> {dst}")
+        return Sig(self.transition_signal(matches[0]))
+
+    def entry_signal(self, dst: str) -> Expr:
+        """An expression that pulses whenever any arc enters ``dst``."""
+        arcs = [t for t in self.transitions if t.dst == dst]
+        if not arcs:
+            raise KeyError(f"FSM {self.name}: no arc enters {dst}")
+        expr: Expr = Sig(self.transition_signal(arcs[0]))
+        for t in arcs[1:]:
+            expr = BinOp("or", expr, Sig(self.transition_signal(t)))
+        return expr
+
+    def effective_cond(self, t: Transition) -> Expr:
+        """Condition for arc ``t`` to fire, *including* priority gating.
+
+        This is the instrumentable "transition criteria" signal of the
+        paper: ``(state == src) & not(earlier arcs) & cond & wait done``.
+        """
+        state_is_src: Expr = BinOp(
+            "eq", Sig(self.state_signal), Const(self.code_of(t.src))
+        )
+        term: Expr = state_is_src
+        if t.src in self.wait_states:
+            counter = self.wait_states[t.src]
+            term = BinOp("and", term, BinOp("eq", Sig(counter), Const(0)))
+        if t.src in self.dynamic_waits:
+            term = BinOp("and", term,
+                         UnOp("not", Sig(self.dynbusy_signal)))
+        for earlier in self.transitions_from(t.src):
+            if earlier.index >= t.index:
+                break
+            if earlier.cond is not None:
+                term = BinOp("and", term, UnOp("not", earlier.cond))
+        if t.cond is not None:
+            term = BinOp("and", term, UnOp("bool", t.cond))
+        return term
+
+    def validate(self) -> None:
+        """Check structural sanity; raises ``ValueError`` on problems."""
+        mentioned = {t.src for t in self.transitions}
+        mentioned |= {t.dst for t in self.transitions}
+        unknown = mentioned - set(self._states)
+        if unknown:
+            raise ValueError(f"FSM {self.name}: unknown states {unknown}")
+        for src in mentioned:
+            arcs = self.transitions_from(src)
+            defaults = [t for t in arcs if t.cond is None]
+            if len(defaults) > 1:
+                raise ValueError(
+                    f"FSM {self.name}: state {src} has multiple default arcs"
+                )
+            if defaults and defaults[0].index != arcs[-1].index:
+                raise ValueError(
+                    f"FSM {self.name}: default arc of {src} must be last"
+                )
+        for state in self.wait_states:
+            if state not in self._states:
+                raise ValueError(
+                    f"FSM {self.name}: wait state {state} never registered"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Fsm({self.name!r}, states={len(self._states)}, "
+            f"transitions={len(self.transitions)})"
+        )

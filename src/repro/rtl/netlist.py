@@ -1,0 +1,190 @@
+"""Structural netlist: the output of synthesis.
+
+The netlist is a flat sea of cells connected by named nets.  It serves
+three consumers:
+
+* the FSM/counter *detectors* (``repro.analysis``), which walk cell
+  patterns exactly the way the paper's netlist-level extraction [24]
+  does;
+* the *slicer* (``repro.slicing``), which computes backward fan-in
+  closures from feature probe nets;
+* the *cost models* (``repro.rtl.tech``), which price cells in ASIC
+  area/energy or FPGA resources.
+
+Net naming convention: nets carrying user-visible signals keep their
+behavioural names (like Yosys keeps RTL names); intermediate nets are
+``<owner>__n<k>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a cell came from in the behavioural IR.
+
+    ``construct`` is one of: ``port``, ``const``, ``memory``, ``wire``,
+    ``reg``, ``counter``, ``fsm``, ``fsm_arc``, ``dynamic``, ``update``,
+    ``datapath``, ``done``.  ``name`` identifies the construct and
+    ``role`` the cell's function within it (e.g. ``dff``, ``load_mux``).
+    """
+
+    construct: str
+    name: str
+    role: str = ""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One gate/macro instance.
+
+    ``fanin`` ordering conventions: ``MUX`` is ``(sel, a, b)`` meaning
+    ``sel ? a : b``; ``MEMRD`` is ``(mem, index)``; binary ops are
+    ``(a, b)``.  ``param`` carries the constant for CONST cells and the
+    step for ADD/SUB used by counters.  ``count`` lets one cell stand
+    for N identical instances (used for datapath blocks).
+    """
+
+    cid: int
+    kind: str
+    out: str
+    fanin: Tuple[str, ...]
+    width: int = 32
+    provenance: Provenance = Provenance("wire", "?")
+    param: int = 0
+    count: int = 1
+
+
+# Cell kinds produced by the synthesizer.
+COMB_KINDS = frozenset((
+    "ADD", "SUB", "MUL", "DIV", "MOD", "AND", "OR", "XOR", "SHL", "SHR",
+    "EQ", "NE", "LT", "LE", "GT", "GE", "MIN", "MAX", "MUX", "NOT",
+    "BOOL", "MEMRD", "BUF",
+))
+SEQ_KINDS = frozenset(("DFF", "SEQCTL"))
+SOURCE_KINDS = frozenset(("PORT", "CONST", "SRAM"))
+ALL_KINDS = COMB_KINDS | SEQ_KINDS | SOURCE_KINDS
+
+
+class Netlist:
+    """A flat structural netlist with single-driver nets."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.cells: List[Cell] = []
+        self._driver: Dict[str, Cell] = {}
+        self._tmp = 0
+        self._readers: Optional[Dict[str, List[Cell]]] = None
+
+    # -- construction -----------------------------------------------------
+    def add(self, kind: str, fanin: Sequence[str], out: Optional[str] = None,
+            width: int = 32, provenance: Optional[Provenance] = None,
+            param: int = 0, count: int = 1) -> str:
+        """Add a cell; returns its output net name."""
+        if kind not in ALL_KINDS:
+            raise ValueError(f"unknown cell kind {kind!r}")
+        if out is None:
+            owner = provenance.name if provenance else "t"
+            out = f"{owner}__n{self._tmp}"
+            self._tmp += 1
+        if out in self._driver:
+            raise ValueError(f"net {out!r} already driven")
+        cell = Cell(
+            cid=len(self.cells),
+            kind=kind,
+            out=out,
+            fanin=tuple(fanin),
+            width=width,
+            provenance=provenance or Provenance("wire", "?"),
+            param=param,
+            count=count,
+        )
+        self.cells.append(cell)
+        self._driver[out] = cell
+        self._readers = None
+        return out
+
+    # -- queries ----------------------------------------------------------
+    def driver(self, net: str) -> Optional[Cell]:
+        """The cell driving ``net`` (None if undriven)."""
+        return self._driver.get(net)
+
+    def readers(self, net: str) -> List[Cell]:
+        """All cells reading ``net``."""
+        if self._readers is None:
+            table: Dict[str, List[Cell]] = {}
+            for cell in self.cells:
+                for fin in cell.fanin:
+                    table.setdefault(fin, []).append(cell)
+            self._readers = table
+        return self._readers.get(net, [])
+
+    def cells_of_kind(self, kind: str) -> List[Cell]:
+        """All cells of one kind."""
+        return [c for c in self.cells if c.kind == kind]
+
+    def cells_of(self, construct: str,
+                 name: Optional[str] = None) -> List[Cell]:
+        """Cells by provenance construct (and optional name)."""
+        return [
+            c for c in self.cells
+            if c.provenance.construct == construct
+            and (name is None or c.provenance.name == name)
+        ]
+
+    def fanin_closure(self, start_nets: Iterable[str],
+                      stop_at_state: bool = False) -> Set[int]:
+        """Cell ids reachable backward from ``start_nets``.
+
+        With ``stop_at_state`` the walk includes DFF/SRAM cells it
+        reaches but does not continue through their fan-in (used for
+        combinational cone inspection by the detectors).
+        """
+        seen_nets: Set[str] = set()
+        cells: Set[int] = set()
+        stack = list(start_nets)
+        while stack:
+            net = stack.pop()
+            if net in seen_nets:
+                continue
+            seen_nets.add(net)
+            cell = self._driver.get(net)
+            if cell is None:
+                continue  # undriven net (e.g. dangling port name)
+            if cell.cid in cells:
+                continue
+            cells.add(cell.cid)
+            if stop_at_state and cell.kind in ("DFF", "SRAM", "SEQCTL"):
+                continue
+            stack.extend(cell.fanin)
+        return cells
+
+    def comb_cone(self, net: str, max_cells: int = 4000) -> List[Cell]:
+        """The combinational cone driving ``net`` (stops at state cells).
+
+        Returns cells in discovery order; raises if the cone explodes
+        (which would indicate a synthesis bug).
+        """
+        ids = self.fanin_closure([net], stop_at_state=True)
+        if len(ids) > max_cells:
+            raise RuntimeError(f"cone of {net!r} has {len(ids)} cells")
+        return [self.cells[i] for i in sorted(ids)]
+
+    def stats(self) -> Dict[str, int]:
+        """Cell counts by kind (weighted by ``count``)."""
+        out: Dict[str, int] = {}
+        for cell in self.cells:
+            out[cell.kind] = out.get(cell.kind, 0) + cell.count
+        return out
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.cells)
+
+    def __repr__(self) -> str:
+        return f"Netlist({self.name!r}, cells={len(self.cells)})"

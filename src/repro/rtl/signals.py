@@ -1,0 +1,128 @@
+"""Signal declarations for the behavioural RTL IR.
+
+Four kinds of state/connectivity elements exist:
+
+* :class:`Port` — an input pin set by the testbench when a job is loaded.
+* :class:`Wire` — a combinational signal with a driving expression.
+* :class:`Reg`  — a flip-flop bank with a width mask applied on commit.
+* :class:`Memory` — a scratchpad SRAM loaded with the job's input data.
+
+Sequential behaviour (what a :class:`Reg` does each cycle) is expressed
+through :class:`Update` rules owned by the module, not by the register
+itself, mirroring how always-blocks drive registers in Verilog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .expr import Expr, wrap, ExprLike
+
+
+def mask_for(width: int) -> int:
+    """Bit mask for a signal of ``width`` bits."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+@dataclass(frozen=True)
+class Port:
+    """A module input, loaded per job by the testbench."""
+
+    name: str
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        mask_for(self.width)  # validates width
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A combinational signal driven by ``expr``."""
+
+    name: str
+    expr: Expr
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        mask_for(self.width)
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register bank with an initial value."""
+
+    name: str
+    width: int = 32
+    init: int = 0
+
+    def __post_init__(self) -> None:
+        if self.init < 0:
+            raise ValueError(f"register init must be >= 0, got {self.init}")
+        if self.init > mask_for(self.width):
+            raise ValueError(
+                f"init {self.init} does not fit in {self.width} bits"
+            )
+
+    @property
+    def mask(self) -> int:
+        return mask_for(self.width)
+
+
+@dataclass(frozen=True)
+class Memory:
+    """A scratchpad memory (SRAM) holding the job's working set.
+
+    ``depth`` and ``width`` size the SRAM macro for area/energy purposes;
+    the simulator stores whatever list the testbench loads (shorter than
+    ``depth`` is fine, reads past the end return zero).
+    """
+
+    name: str
+    depth: int
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0:
+            raise ValueError(f"memory depth must be positive, got {self.depth}")
+        mask_for(self.width)
+
+    @property
+    def bits(self) -> int:
+        return self.depth * self.width
+
+
+@dataclass(frozen=True)
+class Update:
+    """A guarded register update: ``if cond: reg <= value`` each cycle.
+
+    Updates belonging to a module are evaluated in declaration order; the
+    *last* matching rule for a register wins within a cycle, matching the
+    semantics of sequential non-blocking assignments in an always-block.
+    An ``Update`` may optionally be tied to an FSM state so it only fires
+    while the FSM is in that state.
+    """
+
+    reg: str
+    value: Expr
+    cond: Optional[Expr] = None
+    fsm: Optional[str] = None
+    state: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.fsm is None) != (self.state is None):
+            raise ValueError("fsm and state must be given together")
+
+
+def update(reg: str, value: ExprLike, cond: Optional[ExprLike] = None,
+           fsm: Optional[str] = None, state: Optional[str] = None) -> Update:
+    """Convenience constructor coercing ints to constants."""
+    return Update(
+        reg=reg,
+        value=wrap(value),
+        cond=None if cond is None else wrap(cond),
+        fsm=fsm,
+        state=state,
+    )

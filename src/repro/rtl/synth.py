@@ -1,0 +1,281 @@
+"""Behavioural-to-structural lowering (the Yosys stand-in).
+
+``synthesize`` turns a finalized :class:`Module` into a flat
+:class:`Netlist` of cells.  The lowering is deterministic and emits the
+canonical patterns the structural detectors look for:
+
+* a register becomes a DFF fed by a priority mux chain folded from its
+  update rules and FSM entry actions;
+* a counter becomes DFF + SUB/ADD + load/tick muxes + a ``> 0`` compare;
+* an FSM becomes a state DFF fed by a mux chain keyed on the
+  per-transition criteria wires (which are ordinary wires, lowered like
+  any other);
+* a dynamic wait becomes an opaque SEQCTL macro holding the state —
+  serial logic with no extractable counter, by construction.
+
+Every cell carries provenance back to its behavioural construct so the
+slicer can rebuild a runnable slice module from a retained cell set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .counter import Counter
+from .expr import BinOp, Const, Expr, MemRead, Mux, Sig, UnOp
+from .module import Module
+from .netlist import Netlist, Provenance
+
+_BIN_KIND = {
+    "add": "ADD", "sub": "SUB", "mul": "MUL", "div": "DIV", "mod": "MOD",
+    "and": "AND", "or": "OR", "xor": "XOR", "shl": "SHL", "shr": "SHR",
+    "eq": "EQ", "ne": "NE", "lt": "LT", "le": "LE", "gt": "GT", "ge": "GE",
+    "min": "MIN", "max": "MAX",
+}
+_UN_KIND = {"not": "NOT", "bool": "BOOL", "neg": "SUB"}
+
+
+class _Lowerer:
+    """Holds per-module lowering state (const memo, net allocation)."""
+
+    def __init__(self, module: Module, netlist: Netlist):
+        self.module = module
+        self.netlist = netlist
+        self._const_nets: Dict[int, str] = {}
+
+    def const(self, value: int, prov: Provenance) -> str:
+        if value not in self._const_nets:
+            tag = str(value) if value >= 0 else f"m{-value}"
+            self._const_nets[value] = self.netlist.add(
+                "CONST", (), out=f"__const_{tag}",
+                provenance=Provenance("const", str(value)),
+                param=value, width=max(value.bit_length(), 1),
+            )
+        return self._const_nets[value]
+
+    def lower(self, expr: Expr, prov: Provenance,
+              out: Optional[str] = None, width: int = 32) -> str:
+        """Lower an expression tree; returns its output net."""
+        nl = self.netlist
+        if isinstance(expr, Const):
+            net = self.const(expr.value, prov)
+            if out is not None:
+                net = nl.add("BUF", (net,), out=out, width=width,
+                             provenance=prov)
+            return net
+        if isinstance(expr, Sig):
+            if out is not None:
+                return nl.add("BUF", (expr.name,), out=out, width=width,
+                              provenance=prov)
+            return expr.name
+        if isinstance(expr, MemRead):
+            idx = self.lower(expr.index, prov)
+            return nl.add("MEMRD", (f"__mem__{expr.memory}", idx), out=out,
+                          width=width, provenance=prov)
+        if isinstance(expr, Mux):
+            sel = self.lower(expr.sel, prov)
+            a = self.lower(expr.a, prov)
+            b = self.lower(expr.b, prov)
+            return nl.add("MUX", (sel, a, b), out=out, width=width,
+                          provenance=prov)
+        if isinstance(expr, UnOp):
+            a = self.lower(expr.a, prov)
+            if expr.op == "neg":
+                zero = self.const(0, prov)
+                return nl.add("SUB", (zero, a), out=out, width=width,
+                              provenance=prov)
+            return nl.add(_UN_KIND[expr.op], (a,), out=out, width=1,
+                          provenance=prov)
+        if isinstance(expr, BinOp):
+            a = self.lower(expr.a, prov)
+            b = self.lower(expr.b, prov)
+            kind = _BIN_KIND[expr.op]
+            w = 1 if expr.op in ("eq", "ne", "lt", "le", "gt", "ge",
+                                 "and", "or") else width
+            param = 0
+            bexp = expr.b
+            if isinstance(bexp, Const):
+                param = bexp.value
+            return nl.add(kind, (a, b), out=out, width=w,
+                          provenance=prov, param=param)
+        raise TypeError(f"cannot lower expression {expr!r}")
+
+    def mux(self, sel: str, a: str, b: str, prov: Provenance,
+            out: Optional[str] = None, width: int = 32) -> str:
+        return self.netlist.add("MUX", (sel, a, b), out=out, width=width,
+                                provenance=prov)
+
+
+def synthesize(module: Module) -> Netlist:
+    """Lower a finalized behavioural module to a structural netlist."""
+    if not module.finalized:
+        raise ValueError(f"module {module.name} must be finalized first")
+    nl = Netlist(module.name)
+    lo = _Lowerer(module, nl)
+
+    # Sources: ports and memories.
+    for port in module.ports.values():
+        nl.add("PORT", (), out=port.name, width=port.width,
+               provenance=Provenance("port", port.name))
+    for mem in module.memories.values():
+        nl.add("SRAM", (), out=f"__mem__{mem.name}", width=mem.width,
+               provenance=Provenance("memory", mem.name), param=mem.bits)
+
+    # Identify which wires are FSM transition-criteria wires so they get
+    # provenance pointing at the arc (for probing and diagnostics).
+    arc_wires: Dict[str, Provenance] = {}
+    for fsm in module.fsms.values():
+        for t in fsm.transitions:
+            arc_wires[fsm.transition_signal(t)] = Provenance(
+                "fsm_arc", f"{fsm.name}:{t.index}",
+                role=f"{t.src}->{t.dst}",
+            )
+
+    # Combinational wires, in topological order.
+    for name in module.wire_order:
+        wire = module.wires[name]
+        prov = arc_wires.get(name, Provenance("wire", name))
+        lo.lower(wire.expr, prov, out=name, width=wire.width)
+
+    # Registers: fold updates (declaration order, later wins => outer
+    # mux) then FSM entry actions (override updates => outermost).
+    for reg in module.regs.values():
+        prov = Provenance("reg", reg.name, "next")
+        current = reg.name  # hold path
+        for idx, upd in enumerate(module.updates):
+            if upd.reg != reg.name:
+                continue
+            uprov = Provenance("update", f"{reg.name}:{idx}")
+            value_net = lo.lower(upd.value, uprov, width=reg.width)
+            cond_net = None
+            if upd.cond is not None:
+                cond_net = lo.lower(upd.cond, uprov)
+            if upd.fsm is not None:
+                fsm = module.fsms[upd.fsm]
+                in_state = nl.add(
+                    "EQ",
+                    (fsm.state_signal,
+                     lo.const(fsm.code_of(upd.state), uprov)),
+                    width=1, provenance=uprov,
+                )
+                if cond_net is None:
+                    cond_net = in_state
+                else:
+                    cond_net = nl.add("AND", (in_state, cond_net), width=1,
+                                      provenance=uprov)
+            if cond_net is None:
+                cond_net = lo.const(1, uprov)
+            current = lo.mux(cond_net, value_net, current, uprov,
+                             width=reg.width)
+        for fsm in module.fsms.values():
+            for t in fsm.transitions:
+                for target, value in t.actions:
+                    if target != reg.name:
+                        continue
+                    aprov = Provenance(
+                        "fsm_arc", f"{fsm.name}:{t.index}", role="action")
+                    value_net = lo.lower(value, aprov, width=reg.width)
+                    current = lo.mux(fsm.transition_signal(t), value_net,
+                                     current, aprov, width=reg.width)
+        nl.add("DFF", (current,), out=reg.name, width=reg.width,
+               provenance=Provenance("reg", reg.name, "dff"))
+
+    # Counters: canonical load/tick mux patterns.
+    for counter in module.counters.values():
+        _lower_counter(lo, counter)
+
+    # FSM state registers: mux chain keyed on criteria wires; dynamic
+    # waits contribute an opaque SEQCTL hold path.
+    for fsm in module.fsms.values():
+        prov = Provenance("fsm", fsm.name, "next")
+        current = fsm.state_signal  # hold
+        for t in reversed(fsm.transitions):
+            dst_net = lo.const(fsm.code_of(t.dst), prov)
+            current = lo.mux(fsm.transition_signal(t), dst_net, current,
+                             Provenance("fsm", fsm.name,
+                                        f"next_mux:{t.index}"),
+                             width=16)
+        if fsm.dynamic_waits:
+            # The opaque serial-control macro: consumes the duration
+            # operands and the state, produces the busy flag that gates
+            # arcs out of dynamic-wait states.  No counter pattern
+            # exists here by construction — feature extraction cannot
+            # see these stalls.
+            dur_nets = []
+            for state, duration in fsm.dynamic_waits.items():
+                dprov = Provenance("dynamic", f"{fsm.name}:{state}")
+                dur_nets.append(lo.lower(duration, dprov))
+            nl.add("SEQCTL", tuple(dur_nets) + (fsm.state_signal,),
+                   out=fsm.dynbusy_signal, width=1,
+                   provenance=Provenance("dynamic", fsm.name, "busy"))
+        nl.add("DFF", (current,), out=fsm.state_signal, width=16,
+               provenance=Provenance("fsm", fsm.name, "state_dff"))
+
+    # Datapath blocks: a bag of priced cells plus a sink output.
+    for block in module.datapath_blocks:
+        outs = []
+        for kind, count in sorted(block.cells.items()):
+            if count <= 0:
+                continue
+            outs.append(nl.add(
+                kind, tuple(block.inputs), width=block.width,
+                provenance=Provenance("datapath", block.name, kind),
+                count=count,
+            ))
+        nl.add("BUF", tuple(outs), out=block.output, width=block.width,
+               provenance=Provenance("datapath", block.name, "sink"))
+
+    # Done expression.
+    lo.lower(module.done_expr, Provenance("done", module.name),
+             out="__done", width=1)
+    return nl
+
+
+def _lower_counter(lo: _Lowerer, counter: Counter) -> None:
+    nl = lo.netlist
+    name = counter.name
+    step_net = lo.const(counter.step, Provenance("counter", name, "step"))
+    if counter.mode == "down":
+        prov = Provenance("counter", name, "dec")
+        dec = nl.add("SUB", (name, step_net), width=counter.width,
+                     provenance=prov, param=counter.step)
+        gt = nl.add("GT", (name, lo.const(0, prov)), width=1,
+                    provenance=Provenance("counter", name, "gt0"))
+        if counter.enable is not None:
+            en = lo.lower(counter.enable,
+                          Provenance("counter", name, "enable"))
+            tick = nl.add("AND", (gt, en), width=1,
+                          provenance=Provenance("counter", name, "tick"))
+        else:
+            tick = gt
+        hold_mux = lo.mux(tick, dec, name,
+                          Provenance("counter", name, "tick_mux"),
+                          width=counter.width)
+        load_cond = lo.lower(counter.load_cond,
+                             Provenance("counter", name, "load_cond"))
+        load_val = lo.lower(counter.load_value,
+                            Provenance("counter", name, "load_value"),
+                            width=counter.width)
+        nxt = lo.mux(load_cond, load_val, hold_mux,
+                     Provenance("counter", name, "load_mux"),
+                     width=counter.width)
+    else:
+        prov = Provenance("counter", name, "inc")
+        inc = nl.add("ADD", (name, step_net), width=counter.width,
+                     provenance=prov, param=counter.step)
+        if counter.enable is not None:
+            en = lo.lower(counter.enable,
+                          Provenance("counter", name, "enable"))
+            hold_mux = lo.mux(en, inc, name,
+                              Provenance("counter", name, "tick_mux"),
+                              width=counter.width)
+        else:
+            hold_mux = inc
+        reset_cond = lo.lower(counter.load_cond,
+                              Provenance("counter", name, "load_cond"))
+        zero = lo.const(0, Provenance("counter", name, "zero"))
+        nxt = lo.mux(reset_cond, zero, hold_mux,
+                     Provenance("counter", name, "load_mux"),
+                     width=counter.width)
+    nl.add("DFF", (nxt,), out=name, width=counter.width,
+           provenance=Provenance("counter", name, "dff"))

@@ -1,0 +1,196 @@
+"""Technology libraries: cell-level area, power and FPGA resources.
+
+This is the stand-in for the paper's gate-level modelling flow
+(Synopsys DC/ICC/PrimeTime with TSMC 65 nm, and Vivado on Kintex-7).
+Per-cell coefficients are calibrated so that synthesized benchmark
+accelerators land in the area/power regime the paper reports (Table 4:
+tens of thousands to ~660k um^2; ~100 mW-class dynamic power), which is
+what matters for the *relative* quantities the evaluation uses
+(slice-vs-full area, energy normalized to baseline).
+
+ASIC energy model per cell: a switching energy per active cycle at the
+nominal 1 V (scales with V^2 when DVFS is applied — handled by
+``repro.dvfs.energy``) and a leakage power at 1 V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .netlist import Cell, Netlist
+
+# -- ASIC (65 nm-class) -----------------------------------------------------
+
+#: Area in um^2 for a cell of width w.  MUL grows quadratically (array
+#: multiplier), SRAM per bit plus macro overhead, everything else linear.
+_ASIC_AREA_PER_BIT: Dict[str, float] = {
+    "DFF": 6.0,
+    "ADD": 4.0,
+    "SUB": 4.0,
+    "DIV": 14.0,
+    "MOD": 14.0,
+    "AND": 1.4,
+    "OR": 1.4,
+    "XOR": 1.8,
+    "SHL": 3.0,
+    "SHR": 3.0,
+    "EQ": 2.2,
+    "NE": 2.2,
+    "LT": 2.6,
+    "LE": 2.6,
+    "GT": 2.6,
+    "GE": 2.6,
+    "MIN": 4.6,
+    "MAX": 4.6,
+    "MUX": 2.0,
+    "NOT": 0.8,
+    "BOOL": 0.8,
+    "BUF": 0.6,
+    "SEQCTL": 30.0,
+    "MEMRD": 3.0,  # address decode / read port mux share
+}
+_ASIC_MUL_COEFF = 1.1          # um^2 per bit^2
+_ASIC_SRAM_PER_BIT = 0.7       # um^2 per bit
+_ASIC_SRAM_OVERHEAD = 900.0    # um^2 per macro
+
+#: Switching energy at 1 V in femtojoules per um^2 per active cycle,
+#: already including an average activity factor.
+_ASIC_SWITCH_FJ_PER_UM2 = 0.80
+#: SRAM macros toggle far less of their area per access.
+_ASIC_SRAM_ACTIVITY = 0.08
+#: Leakage power density at 1 V in microwatts per um^2 (65 nm-class).
+_ASIC_LEAK_UW_PER_UM2 = 0.040
+
+
+def asic_cell_area(cell: Cell) -> float:
+    """ASIC area of one cell instance in um^2 (includes ``count``)."""
+    if cell.kind in ("PORT", "CONST"):
+        return 0.0
+    if cell.kind == "SRAM":
+        bits = cell.param  # synthesizer stores total bits in param
+        unit = _ASIC_SRAM_OVERHEAD + _ASIC_SRAM_PER_BIT * bits
+    elif cell.kind == "MUL":
+        unit = _ASIC_MUL_COEFF * cell.width * cell.width
+    else:
+        unit = _ASIC_AREA_PER_BIT[cell.kind] * cell.width
+    return unit * cell.count
+
+
+def asic_area(netlist: Netlist) -> float:
+    """Total ASIC area of a netlist in um^2."""
+    return sum(asic_cell_area(cell) for cell in netlist)
+
+
+def asic_switch_energy_per_cycle(cell: Cell) -> float:
+    """Switching energy in joules per *active* cycle at 1 V."""
+    area = asic_cell_area(cell)
+    factor = _ASIC_SRAM_ACTIVITY if cell.kind == "SRAM" else 1.0
+    return area * _ASIC_SWITCH_FJ_PER_UM2 * factor * 1e-15
+
+
+def asic_leakage_power(area_um2: float) -> float:
+    """Leakage power in watts at 1 V for a block of ``area_um2``."""
+    return area_um2 * _ASIC_LEAK_UW_PER_UM2 * 1e-6
+
+
+# -- FPGA (Kintex-7-class) ---------------------------------------------------
+
+@dataclass(frozen=True)
+class FpgaResources:
+    """LUT/FF/DSP/BRAM usage of a design or slice."""
+
+    luts: float = 0.0
+    ffs: float = 0.0
+    dsps: float = 0.0
+    brams: float = 0.0
+
+    def __add__(self, other: "FpgaResources") -> "FpgaResources":
+        return FpgaResources(
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.dsps + other.dsps,
+            self.brams + other.brams,
+        )
+
+    def fraction_of(self, total: "FpgaResources") -> float:
+        """Average utilization fraction across used resource types.
+
+        Matches the paper's Fig 17 metric ("average of LUT/DSP/BRAM").
+        """
+        fractions = []
+        for mine, theirs in ((self.luts, total.luts),
+                             (self.dsps, total.dsps),
+                             (self.brams, total.brams)):
+            if theirs > 0:
+                fractions.append(mine / theirs)
+        if not fractions:
+            return 0.0
+        return sum(fractions) / len(fractions)
+
+
+_FPGA_LUTS_PER_BIT: Dict[str, float] = {
+    "ADD": 1.0, "SUB": 1.0, "DIV": 6.0, "MOD": 6.0,
+    "AND": 0.5, "OR": 0.5, "XOR": 0.5,
+    "SHL": 1.5, "SHR": 1.5,
+    "EQ": 0.5, "NE": 0.5, "LT": 0.8, "LE": 0.8, "GT": 0.8, "GE": 0.8,
+    "MIN": 1.3, "MAX": 1.3,
+    "MUX": 0.5, "NOT": 0.2, "BOOL": 0.2, "BUF": 0.1,
+    "SEQCTL": 8.0, "MEMRD": 1.0,
+}
+_FPGA_BRAM_BITS = 18 * 1024
+_FPGA_DSP_WIDTH = 18
+
+
+def fpga_cell_resources(cell: Cell) -> FpgaResources:
+    """FPGA resources of one cell instance (includes ``count``)."""
+    n = cell.count
+    if cell.kind in ("PORT", "CONST"):
+        return FpgaResources()
+    if cell.kind == "DFF":
+        return FpgaResources(ffs=cell.width * n)
+    if cell.kind == "SRAM":
+        brams = max(1.0, cell.param / _FPGA_BRAM_BITS)
+        return FpgaResources(brams=brams * n)
+    if cell.kind == "MUL":
+        dsps = max(1.0, (cell.width + _FPGA_DSP_WIDTH - 1) // _FPGA_DSP_WIDTH)
+        return FpgaResources(dsps=dsps * n)
+    luts = _FPGA_LUTS_PER_BIT[cell.kind] * cell.width
+    return FpgaResources(luts=luts * n)
+
+
+def fpga_resources(netlist: Netlist) -> FpgaResources:
+    """Total FPGA resources of a netlist."""
+    total = FpgaResources()
+    for cell in netlist:
+        total = total + fpga_cell_resources(cell)
+    return total
+
+
+#: FPGA dynamic energy at 1 V: joules per active cycle per "resource
+#: unit" where a LUT counts 1, an FF 0.5, a DSP 40, a BRAM 60.  FPGAs
+#: burn roughly an order of magnitude more energy per operation than
+#: ASICs, which these coefficients reflect.
+_FPGA_SWITCH_FJ = {"lut": 9.0, "ff": 4.5, "dsp": 360.0, "bram": 540.0}
+#: FPGA static power per resource unit at 1 V (watts).
+_FPGA_LEAK_W = {"lut": 4e-7, "ff": 2e-7, "dsp": 1.6e-5, "bram": 2.4e-5}
+
+
+def fpga_switch_energy_per_cycle(res: FpgaResources) -> float:
+    """Switching energy in joules per active cycle at 1 V."""
+    return (
+        res.luts * _FPGA_SWITCH_FJ["lut"]
+        + res.ffs * _FPGA_SWITCH_FJ["ff"]
+        + res.dsps * _FPGA_SWITCH_FJ["dsp"]
+        + res.brams * _FPGA_SWITCH_FJ["bram"]
+    ) * 1e-15
+
+
+def fpga_leakage_power(res: FpgaResources) -> float:
+    """Static power in watts at 1 V."""
+    return (
+        res.luts * _FPGA_LEAK_W["lut"]
+        + res.ffs * _FPGA_LEAK_W["ff"]
+        + res.dsps * _FPGA_LEAK_W["dsp"]
+        + res.brams * _FPGA_LEAK_W["bram"]
+    )

@@ -1,0 +1,119 @@
+"""Module-to-module transforms.
+
+``derive_module`` rebuilds a behavioural module minus a set of
+constructs.  The slicer uses it twice:
+
+* *wait elision* — drop the wait declaration of states whose associated
+  computation was sliced away, so the slice steps straight through them
+  (Sec. 3.5 of the paper: "modifying the FSM transition table to remove
+  the waiting behavior");
+* *slicing* — drop counters, registers, wires, updates and datapath
+  blocks outside the retained closure.
+
+State codes and construct names are preserved exactly, so features
+recorded from a derived module are directly comparable with features
+recorded from the original — a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Optional, Tuple
+
+from .fsm import Fsm
+from .module import Module
+
+StateKey = Tuple[str, str]
+
+
+def derive_module(
+    module: Module,
+    name: Optional[str] = None,
+    unwait: AbstractSet[StateKey] = frozenset(),
+    drop_dynamic: AbstractSet[StateKey] = frozenset(),
+    drop_counters: AbstractSet[str] = frozenset(),
+    drop_regs: AbstractSet[str] = frozenset(),
+    drop_wires: AbstractSet[str] = frozenset(),
+    drop_updates: AbstractSet[int] = frozenset(),
+    drop_fsms: AbstractSet[str] = frozenset(),
+    drop_memories: AbstractSet[str] = frozenset(),
+    drop_datapath: bool = False,
+) -> Module:
+    """Clone ``module`` without the named constructs.
+
+    ``unwait`` removes the *wait* declaration of ``(fsm, state)`` pairs
+    (the state remains; its outgoing arcs stop being gated on the
+    counter).  ``drop_dynamic`` removes dynamic-wait declarations the
+    same way.  Update indices refer to ``module.updates`` order.
+
+    The caller is responsible for dropping a dependency-closed set;
+    ``finalize`` on the result will raise if a retained expression
+    references a dropped signal.
+    """
+    out = Module(name or f"{module.name}__derived")
+    for port in module.ports.values():
+        out.port(port.name, port.width)
+    for mem in module.memories.values():
+        if mem.name not in drop_memories:
+            out.memory(mem.name, mem.depth, mem.width)
+    # Auto-generated transition wires are regenerated at finalize; copy
+    # only user wires.
+    generated = {
+        fsm.transition_signal(t)
+        for fsm in module.fsms.values()
+        for t in fsm.transitions
+    }
+    for wire in module.wires.values():
+        if wire.name in generated or wire.name in drop_wires:
+            continue
+        out.wire(wire.name, wire.expr, wire.width)
+    for reg in module.regs.values():
+        if reg.name not in drop_regs:
+            out.reg(reg.name, reg.width, reg.init)
+    for counter in module.counters.values():
+        if counter.name not in drop_counters:
+            out.counter(counter)
+    for fsm in module.fsms.values():
+        if fsm.name in drop_fsms:
+            continue
+        out.fsm(_derive_fsm(fsm, unwait, drop_dynamic, drop_counters,
+                            drop_regs))
+    for idx, upd in enumerate(module.updates):
+        if idx in drop_updates or upd.reg in drop_regs:
+            continue
+        if upd.fsm is not None and upd.fsm in drop_fsms:
+            continue
+        out.updates.append(upd)
+    if not drop_datapath:
+        for block in module.datapath_blocks:
+            out.datapath(block)
+    out.set_done(module.done_expr)
+    return out.finalize()
+
+
+def _derive_fsm(fsm: Fsm, unwait: AbstractSet[StateKey],
+                drop_dynamic: AbstractSet[StateKey],
+                drop_counters: AbstractSet[str],
+                drop_regs: AbstractSet[str]) -> Fsm:
+    clone = Fsm(fsm.name, fsm.initial)
+    for state in fsm.states:  # preserves registration order => same codes
+        clone.add_state(state)
+    for t in fsm.transitions:
+        actions = [
+            (reg, value) for reg, value in t.actions if reg not in drop_regs
+        ]
+        clone.transition(t.src, t.dst, cond=t.cond, actions=actions)
+    for state, counter in fsm.wait_states.items():
+        if (fsm.name, state) in unwait:
+            continue
+        if counter in drop_counters:
+            raise ValueError(
+                f"cannot drop counter {counter!r}: state {state} of FSM "
+                f"{fsm.name} still waits on it (unwait the state first)"
+            )
+        clone.wait_state(state, counter,
+                         feeds_control=state in fsm.control_waits)
+    for state, duration in fsm.dynamic_waits.items():
+        if (fsm.name, state) not in drop_dynamic:
+            clone.dynamic_wait(state, duration,
+                               feeds_control=state in fsm.control_dynamic)
+    return clone

@@ -1,0 +1,14 @@
+"""Runtime: jobs, episodes, and result aggregation."""
+
+from .episode import EpisodeResult, run_episode
+from .jobs import JobOutcome, JobRecord, Task
+from .soc import AcceleratorStream, SocResult, run_soc
+from .stats import SchemeSummary, average_summaries, format_table, summarize
+from .trace import TracePoint, render_trace, sparkline, trace_episode
+
+__all__ = [
+    "AcceleratorStream", "EpisodeResult", "JobOutcome", "JobRecord",
+    "SchemeSummary", "SocResult", "Task", "TracePoint",
+    "average_summaries", "format_table", "render_trace", "run_episode",
+    "run_soc", "sparkline", "summarize", "trace_episode",
+]

@@ -1,0 +1,126 @@
+"""Episode runner: a controller driving an accelerator over a workload.
+
+Per job (Fig 4 of the paper): run the prediction slice (if the scheme
+uses one), switch voltage/frequency if the level changed, execute the
+job, check the deadline, and integrate energy.  All times and energies
+come from the precomputed :class:`JobRecord` ground truth plus the
+energy model — the controller only chooses levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..dvfs.energy import EnergyModel, JobActivity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..dvfs.controllers import Controller
+from ..units import DVFS_SWITCH_TIME
+from .jobs import JobOutcome, JobRecord, Task
+
+
+@dataclass
+class EpisodeResult:
+    """All job outcomes of one controller run, with aggregates."""
+
+    controller: str
+    task: Task
+    outcomes: List[JobOutcome]
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def total_energy(self) -> float:
+        return sum(o.energy for o in self.outcomes)
+
+    @property
+    def miss_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.missed)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.miss_count / self.n_jobs if self.outcomes else 0.0
+
+    @property
+    def boost_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.boosted)
+
+    def normalized_energy(self, baseline: "EpisodeResult") -> float:
+        """Energy as a fraction of a baseline run (same jobs)."""
+        if baseline.n_jobs != self.n_jobs:
+            raise ValueError("baseline ran a different job count")
+        base = baseline.total_energy
+        if base <= 0:
+            raise ValueError("baseline energy must be positive")
+        return self.total_energy / base
+
+
+def run_episode(controller: "Controller",
+                jobs: Sequence[JobRecord],
+                task: Task,
+                energy_model: EnergyModel,
+                slice_energy_model: Optional[EnergyModel] = None,
+                t_switch: float = DVFS_SWITCH_TIME) -> EpisodeResult:
+    """Run ``jobs`` under ``controller`` and account time and energy.
+
+    Jobs are released periodically (Fig 1 of the paper): job *i* may
+    start at ``i * deadline`` and must finish by ``(i+1) * deadline``.
+    A job that overruns its period delays the next job's start, which
+    shrinks that job's budget — so one under-prediction forces the
+    following job to a high (expensive) level.
+
+    ``slice_energy_model`` prices the prediction slice's execution (at
+    nominal voltage); required when the controller runs a slice.
+    """
+    controller.reset()
+    levels = controller.levels
+    nominal = levels.nominal
+    previous = nominal  # the accelerator idles at nominal before job 0
+    outcomes: List[JobOutcome] = []
+    now = 0.0
+
+    for index, job in enumerate(jobs):
+        release = index * task.deadline
+        start = max(now, release)
+        budget = release + task.deadline - start
+        plan = controller.plan(job, budget)
+        point = plan.point
+
+        t_slice = plan.t_slice
+        switch_needed = point != previous and controller.charge_overheads
+        t_switch_actual = t_switch if switch_needed else 0.0
+        t_exec = job.actual_cycles / point.frequency
+        total = t_slice + t_switch_actual + t_exec
+        missed = start + total > release + task.deadline
+        now = start + total
+
+        energy = energy_model.job_energy(job.activity, point, t_exec)
+        if controller.uses_slice and t_slice > 0.0:
+            if slice_energy_model is None:
+                raise ValueError(
+                    f"controller {controller.name} runs a slice but no "
+                    "slice energy model was provided"
+                )
+            slice_activity = JobActivity(cycles=job.slice_cycles)
+            energy += slice_energy_model.job_energy(
+                slice_activity, nominal, t_slice)
+
+        outcomes.append(JobOutcome(
+            job=job,
+            voltage=point.voltage,
+            frequency=point.frequency,
+            boosted=point.is_boost,
+            t_slice=t_slice,
+            t_switch=t_switch_actual,
+            t_exec=t_exec,
+            energy=energy,
+            missed=missed,
+        ))
+        previous = point
+        controller.observe(job)
+
+    return EpisodeResult(controller=controller.name, task=task,
+                         outcomes=outcomes)

@@ -1,0 +1,105 @@
+"""Execution traces: per-job timelines and terminal rendering.
+
+``trace_episode`` reconstructs the wall-clock timeline of an episode
+(release, start, finish, slack) from its outcomes — the view a systems
+person wants when a miss needs explaining.  ``render_trace`` draws it
+as a table plus voltage/slack sparklines for terminal inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .episode import EpisodeResult
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One job's place on the wall clock."""
+
+    index: int
+    release: float
+    start: float
+    finish: float
+    voltage: float
+    frequency: float
+    energy: float
+    missed: bool
+
+    @property
+    def slack(self) -> float:
+        """Time left before the deadline at completion (negative on a
+        miss)."""
+        return self.release - self.finish  # deadline == next release
+
+    @property
+    def queued(self) -> float:
+        """How long the job waited for the accelerator (carry-over)."""
+        return self.start - (self.release - 0.0)
+
+
+def trace_episode(result: EpisodeResult) -> List[TracePoint]:
+    """Reconstruct the timeline (periodic releases, carry-over)."""
+    deadline = result.task.deadline
+    now = 0.0
+    points: List[TracePoint] = []
+    for i, outcome in enumerate(result.outcomes):
+        release = i * deadline
+        start = max(now, release)
+        finish = start + outcome.total_time
+        now = finish
+        points.append(TracePoint(
+            index=i,
+            release=release,
+            start=start,
+            finish=finish,
+            voltage=outcome.voltage,
+            frequency=outcome.frequency,
+            energy=outcome.energy,
+            missed=outcome.missed,
+        ))
+    return points
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a numeric series as a unicode sparkline."""
+    data = list(values)
+    if not data:
+        return ""
+    if len(data) > width:  # downsample by striding
+        stride = len(data) / width
+        data = [data[int(i * stride)] for i in range(width)]
+    lo, hi = min(data), max(data)
+    if hi - lo < 1e-15:
+        return _SPARK_LEVELS[0] * len(data)
+    span = hi - lo
+    return "".join(
+        _SPARK_LEVELS[int((v - lo) / span * (len(_SPARK_LEVELS) - 1))]
+        for v in data
+    )
+
+
+def render_trace(result: EpisodeResult, head: int = 12,
+                 width: int = 60) -> str:
+    """A terminal-friendly trace: summary sparklines + the first jobs."""
+    points = trace_episode(result)
+    deadline = result.task.deadline
+    lines = [
+        f"trace: {result.controller} on {result.task.name} "
+        f"({len(points)} jobs, deadline {deadline * 1e3:.1f} ms)",
+        f"  V    {sparkline([p.voltage for p in points], width)}",
+        f"  slack{sparkline([(p.release + deadline - p.finish) / deadline for p in points], width)}",
+        f"  {'job':>4s} {'start':>9s} {'finish':>9s} {'V':>6s} "
+        f"{'slack_ms':>9s} {'miss':>4s}",
+    ]
+    for p in points[:head]:
+        slack_ms = (p.release + deadline - p.finish) * 1e3
+        lines.append(
+            f"  {p.index:4d} {p.start * 1e3:7.2f}ms {p.finish * 1e3:7.2f}ms "
+            f"{p.voltage:6.3f} {slack_ms:9.2f} "
+            f"{'MISS' if p.missed else '':>4s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""Hardware slicing: minimal feature-computing accelerators."""
+
+from .cost import SliceCost, compute_slice_cost
+from .slicer import HardwareSlice, build_slice
+from .wait_elision import elidable_dynamic_waits, elidable_wait_states
+
+__all__ = [
+    "HardwareSlice", "SliceCost", "build_slice", "compute_slice_cost",
+    "elidable_dynamic_waits", "elidable_wait_states",
+]

@@ -1,0 +1,51 @@
+"""Slice overhead accounting (Figs 12 and 17 of the paper).
+
+Three overheads are charged to the prediction slice:
+
+* area (ASIC) / resources (FPGA) — priced on the synthesized slice
+  netlist relative to the full accelerator;
+* energy — the slice's switching + leakage while it runs, at nominal
+  voltage, relative to the job's own energy;
+* time — the slice's execution cycles at nominal frequency, relative
+  to the job's deadline budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtl import tech
+from ..rtl.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class SliceCost:
+    """Static cost of a hardware slice relative to its accelerator."""
+
+    asic_area_full: float
+    asic_area_slice: float
+    fpga_full: tech.FpgaResources
+    fpga_slice: tech.FpgaResources
+
+    @property
+    def area_fraction(self) -> float:
+        """Slice area as a fraction of the full ASIC accelerator."""
+        if self.asic_area_full <= 0:
+            return 0.0
+        return self.asic_area_slice / self.asic_area_full
+
+    @property
+    def resource_fraction(self) -> float:
+        """Average LUT/DSP/BRAM fraction, the paper's FPGA metric."""
+        return self.fpga_slice.fraction_of(self.fpga_full)
+
+
+def compute_slice_cost(full_netlist: Netlist,
+                       slice_netlist: Netlist) -> SliceCost:
+    """Price a slice netlist against the full accelerator's."""
+    return SliceCost(
+        asic_area_full=tech.asic_area(full_netlist),
+        asic_area_slice=tech.asic_area(slice_netlist),
+        fpga_full=tech.fpga_resources(full_netlist),
+        fpga_slice=tech.fpga_resources(slice_netlist),
+    )

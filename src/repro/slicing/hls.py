@@ -1,0 +1,231 @@
+"""HLS-level slicing (Sec. 4.5, Figs 18 and 19).
+
+Accelerators generated from C via high-level synthesis admit a better
+slicing strategy: apply *program* slicing to the C source, keep only
+the statements that compute the control-flow features, and let the HLS
+tool synthesize that sliced program into hardware.  The HLS scheduler
+can pipeline and unroll the feature scan, so the slice runs far faster
+than an RTL-level slice that must step the original FSM at its
+original pace — eliminating the deadline misses caused by insufficient
+post-slice budget.
+
+This module provides:
+
+* a mini structured-program IR (:class:`Statement` / :class:`Program`):
+  scalar assignments and per-element array reductions, with
+  expressions reused from :mod:`repro.rtl.expr`;
+* :func:`program_slice` — classic backward dependence slicing [37];
+* :class:`HlsSchedule` — a pipelined schedule estimate (initiation
+  interval 1, configurable unroll) with operator inventory for
+  area/resource costing;
+* :class:`HlsSlicePredictor` — the runtime artifact: evaluates the
+  sliced program on a job's inputs to produce feature values, plus the
+  scheduled cycle count of that evaluation in hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Set, Tuple
+
+from ..rtl.expr import Expr, walk, BinOp, UnOp, Mux
+
+#: The reserved name bound to the current array element in a reduction.
+ELEM = "__elem__"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One statement of the mini-C program.
+
+    Without ``array``: a scalar assignment ``target = expr`` over
+    previously-defined variables and parameters.
+
+    With ``array``: a reduction ``target = sum(expr for elem in
+    array)`` where ``expr`` may reference :data:`ELEM`.  This is the
+    shape feature computations take (sums of per-item contributions).
+    """
+
+    target: str
+    expr: Expr
+    array: Optional[str] = None
+
+    def reads(self) -> Set[str]:
+        """Names this statement depends on (excluding the loop element)."""
+        names = set(self.expr.signals())
+        names.discard(ELEM)
+        if self.array is not None:
+            names.add(self.array)
+        return names
+
+
+@dataclass(frozen=True)
+class Program:
+    """A straight-line program with reductions (loops over arrays)."""
+
+    name: str
+    params: Tuple[str, ...]          # scalar inputs
+    arrays: Tuple[str, ...]          # array inputs
+    statements: Tuple[Statement, ...]
+
+    def __post_init__(self) -> None:
+        defined = set(self.params) | set(self.arrays)
+        for stmt in self.statements:
+            missing = stmt.reads() - defined
+            if missing:
+                raise ValueError(
+                    f"{self.name}: statement {stmt.target!r} reads "
+                    f"undefined names {sorted(missing)}"
+                )
+            if stmt.target in defined:
+                raise ValueError(
+                    f"{self.name}: {stmt.target!r} assigned twice (the "
+                    "mini-C IR is single-assignment)"
+                )
+            defined.add(stmt.target)
+
+    def evaluate(self, params: Mapping[str, int],
+                 arrays: Mapping[str, Sequence[int]]) -> Dict[str, float]:
+        """Interpret the program; returns every variable's value."""
+        env: Dict[str, float] = {p: int(params.get(p, 0))
+                                 for p in self.params}
+        for stmt in self.statements:
+            if stmt.array is None:
+                env[stmt.target] = stmt.expr.eval(env)
+            else:
+                data = arrays.get(stmt.array, ())
+                total = 0
+                local = dict(env)
+                for item in data:
+                    local[ELEM] = int(item)
+                    total += stmt.expr.eval(local)
+                env[stmt.target] = total
+        return env
+
+
+def program_slice(program: Program, needed: Sequence[str]) -> Program:
+    """Backward-dependence slice keeping statements computing ``needed``."""
+    want: Set[str] = set(needed)
+    by_target = {s.target: s for s in program.statements}
+    unknown = want - set(by_target) - set(program.params)
+    if unknown:
+        raise KeyError(f"slice criteria not produced by {program.name}: "
+                       f"{sorted(unknown)}")
+    keep: Set[str] = set()
+    frontier = list(want)
+    while frontier:
+        name = frontier.pop()
+        stmt = by_target.get(name)
+        if stmt is None or stmt.target in keep:
+            continue
+        keep.add(stmt.target)
+        frontier.extend(stmt.reads())
+    retained = tuple(
+        s for s in program.statements if s.target in keep
+    )
+    used: Set[str] = set()
+    for s in retained:
+        used |= s.reads()
+    return Program(
+        name=f"{program.name}__slice",
+        params=tuple(p for p in program.params if p in used),
+        arrays=tuple(a for a in program.arrays if a in used),
+        statements=retained,
+    )
+
+
+_OP_KINDS = {
+    "add": "ADD", "sub": "SUB", "mul": "MUL", "div": "DIV", "mod": "MOD",
+    "and": "AND", "or": "OR", "xor": "XOR", "shl": "SHL", "shr": "SHR",
+    "eq": "EQ", "ne": "NE", "lt": "LT", "le": "LE", "gt": "GT", "ge": "GE",
+    "min": "MIN", "max": "MAX",
+}
+
+
+def _count_ops(expr: Expr) -> Dict[str, int]:
+    ops: Dict[str, int] = {}
+    for node in walk(expr):
+        if isinstance(node, BinOp):
+            kind = _OP_KINDS[node.op]
+        elif isinstance(node, UnOp):
+            kind = "NOT"
+        elif isinstance(node, Mux):
+            kind = "MUX"
+        else:
+            continue
+        ops[kind] = ops.get(kind, 0) + 1
+    return ops
+
+
+@dataclass(frozen=True)
+class HlsSchedule:
+    """A pipelined schedule of a (sliced) program.
+
+    Reductions run as pipelined loops at initiation interval 1 with
+    ``unroll`` parallel lanes; scalar statements chain through a short
+    pipeline.  ``cells`` is the operator inventory (unrolled), priced
+    by the same technology library as RTL cells.
+    """
+
+    program: Program
+    unroll: int = 4
+    pipeline_depth: int = 6
+    mem_words_per_cycle: int = 1  # per lane, scratchpad port width
+
+    def cycles(self, arrays: Mapping[str, Sequence[int]]) -> int:
+        """Scheduled cycle count for one job's inputs."""
+        total = 0
+        for stmt in self.program.statements:
+            if stmt.array is None:
+                total += 1  # chained scalar op, one stage
+            else:
+                trips = len(arrays.get(stmt.array, ()))
+                lanes = max(self.unroll * self.mem_words_per_cycle, 1)
+                total += -(-trips // lanes) + self.pipeline_depth
+        return total + self.pipeline_depth
+
+    def cells(self) -> Dict[str, int]:
+        """Unrolled operator inventory for costing."""
+        inventory: Dict[str, int] = {}
+        for stmt in self.program.statements:
+            ops = _count_ops(stmt.expr)
+            factor = self.unroll if stmt.array is not None else 1
+            for kind, count in ops.items():
+                inventory[kind] = inventory.get(kind, 0) + count * factor
+            if stmt.array is not None:
+                # The reduction adder tree.
+                inventory["ADD"] = inventory.get("ADD", 0) + self.unroll
+        return inventory
+
+
+@dataclass
+class HlsSlicePredictor:
+    """The runtime HLS-generated slice: program + schedule + model.
+
+    ``feature_vars`` maps feature names (matching the trained model's
+    feature set) to program variables.
+    """
+
+    program: Program
+    schedule: HlsSchedule
+    feature_vars: Dict[str, str]
+
+    @classmethod
+    def build(cls, program: Program, feature_vars: Dict[str, str],
+              unroll: int = 4) -> "HlsSlicePredictor":
+        sliced = program_slice(program, list(feature_vars.values()))
+        return cls(
+            program=sliced,
+            schedule=HlsSchedule(sliced, unroll=unroll),
+            feature_vars=dict(feature_vars),
+        )
+
+    def run(self, params: Mapping[str, int],
+            arrays: Mapping[str, Sequence[int]]
+            ) -> Tuple[Dict[str, float], int]:
+        """Evaluate features and return (values, scheduled cycles)."""
+        env = self.program.evaluate(params, arrays)
+        features = {
+            feat: env[var] for feat, var in self.feature_vars.items()
+        }
+        return features, self.schedule.cycles(arrays)

@@ -1,0 +1,216 @@
+"""Hardware slicing (Sec. 3.5): build the minimal prediction machine.
+
+Given the full design and the features the trained model selected, the
+slicer:
+
+1. applies wait-state elision (the FSM transition-table rewrite);
+2. synthesizes the elided design and computes the backward fan-in
+   closure of the feature probe nets plus the done signal;
+3. rebuilds a runnable behavioural module containing only the retained
+   constructs — the bitstream-parser/control skeleton of the paper's
+   case study — with every datapath block dropped.
+
+The resulting slice computes exactly the selected features, in a small
+fraction of the original cycles, and its synthesized netlist prices the
+area/resource overhead (Figs 12 and 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Sequence, Set, Tuple
+
+from ..analysis.depgraph import probe_nets
+from ..analysis.features import FeatureSet, FeatureSpec
+from ..rtl.module import Module
+from ..rtl.netlist import Netlist
+from ..rtl.synth import synthesize
+from ..rtl.transform import derive_module
+from .wait_elision import elidable_dynamic_waits, elidable_wait_states
+
+StateKey = Tuple[str, str]
+
+
+@dataclass
+class HardwareSlice:
+    """The generated prediction slice."""
+
+    module: Module            # runnable, waits elided, datapath removed
+    netlist: Netlist          # synthesized slice (for costing)
+    features: FeatureSet      # the features the slice computes
+    elided_waits: FrozenSet[StateKey]
+    elided_dynamic: FrozenSet[StateKey]
+    dropped_counters: FrozenSet[str]
+    dropped_regs: FrozenSet[str]
+    dropped_fsms: FrozenSet[str]
+
+
+def build_slice(module: Module, features: Sequence[FeatureSpec],
+                name: str = "") -> HardwareSlice:
+    """Slice ``module`` down to the logic computing ``features``."""
+    feature_set = features if isinstance(features, FeatureSet) \
+        else FeatureSet(list(features))
+    unwait = elidable_wait_states(module)
+    drop_dynamic = elidable_dynamic_waits(module)
+
+    # Elide first, then slice: the closure must not retain counters whose
+    # only consumers were the removed wait gates.
+    elided = derive_module(
+        module,
+        name=name or f"{module.name}__slice",
+        unwait=unwait,
+        drop_dynamic=drop_dynamic,
+        drop_datapath=True,
+    )
+    netlist = synthesize(elided)
+
+    start = probe_nets(elided, netlist, feature_set)
+    start.add("__done")
+    retained_cells = netlist.fanin_closure(start)
+
+    retained: Set[Tuple[str, str]] = set()
+    for cid in retained_cells:
+        prov = netlist.cells[cid].provenance
+        retained.add((prov.construct, prov.name))
+
+    drop_counters = {
+        c for c in module.counters
+        if ("counter", c) not in retained
+    }
+    drop_regs = {
+        r for r in module.regs
+        if ("reg", r) not in retained
+    }
+    drop_fsms = {
+        f for f in module.fsms
+        if ("fsm", f) not in retained
+    }
+    drop_memories = {
+        mem for mem in module.memories
+        if ("memory", mem) not in retained
+    }
+    # Counters that *are* feature sources must stay regardless of what
+    # the net closure found: the IC/AIV/APV instrumentation registers
+    # hang off the counter's load/reset events, and a counter whose
+    # load value is a constant leaves no counter-provenance cells in
+    # the probe cone (the constant is a shared cell).
+    for spec in feature_set:
+        if spec.kind in ("ic", "aivs", "apvs"):
+            drop_counters.discard(spec.source)
+    # Retained wait states must keep their counters even if no feature
+    # reads them (the slice still sequences through them).
+    for fsm in module.fsms.values():
+        if fsm.name in drop_fsms:
+            continue
+        for state, counter in fsm.wait_states.items():
+            if (fsm.name, state) not in unwait:
+                drop_counters.discard(counter)
+
+    drop_wires = _unreferenced_wires(
+        module, drop_counters, drop_regs, drop_fsms)
+
+    slice_module = derive_module(
+        module,
+        name=name or f"{module.name}__slice",
+        unwait=unwait,
+        drop_dynamic=drop_dynamic,
+        drop_counters=drop_counters,
+        drop_regs=drop_regs,
+        drop_fsms=drop_fsms,
+        drop_wires=drop_wires,
+        drop_memories=drop_memories,
+        drop_datapath=True,
+    )
+    return HardwareSlice(
+        module=slice_module,
+        netlist=synthesize(slice_module),
+        features=feature_set,
+        elided_waits=unwait,
+        elided_dynamic=drop_dynamic,
+        dropped_counters=frozenset(drop_counters),
+        dropped_regs=frozenset(drop_regs),
+        dropped_fsms=frozenset(drop_fsms),
+    )
+
+
+def _unreferenced_wires(module: Module, drop_counters: Set[str],
+                        drop_regs: Set[str],
+                        drop_fsms: Set[str]) -> Set[str]:
+    """Wires that only existed to feed dropped constructs.
+
+    Iteratively removes wires no retained expression references, so the
+    derived slice validates.  Auto-generated transition wires are
+    regenerated by finalize and never copied, so they are ignored here.
+    """
+    generated = {
+        fsm.transition_signal(t)
+        for fsm in module.fsms.values()
+        for t in fsm.transitions
+    }
+    dropped_signals = set(drop_counters) | set(drop_regs)
+    for fsm_name in drop_fsms:
+        dropped_signals.add(module.fsms[fsm_name].state_signal)
+
+    user_wires = [w for w in module.wires.values()
+                  if w.name not in generated]
+
+    def referenced_by_retained(candidate_drops: Set[str]) -> Set[str]:
+        used: Set[str] = set()
+
+        def scan(expr) -> None:
+            used.update(expr.signals())
+
+        for wire in user_wires:
+            if wire.name in candidate_drops:
+                continue
+            scan(wire.expr)
+        for counter in module.counters.values():
+            if counter.name in drop_counters:
+                continue
+            if counter.load_cond is not None:
+                scan(counter.load_cond)
+            if counter.load_value is not None:
+                scan(counter.load_value)
+            if counter.enable is not None:
+                scan(counter.enable)
+        for idx, upd in enumerate(module.updates):
+            if upd.reg in drop_regs:
+                continue
+            if upd.fsm is not None and upd.fsm in drop_fsms:
+                continue
+            scan(upd.value)
+            if upd.cond is not None:
+                scan(upd.cond)
+        for fsm in module.fsms.values():
+            if fsm.name in drop_fsms:
+                continue
+            for t in fsm.transitions:
+                if t.cond is not None:
+                    scan(t.cond)
+                for reg, value in t.actions:
+                    if reg not in drop_regs:
+                        scan(value)
+            for state, duration in fsm.dynamic_waits.items():
+                if state in fsm.control_dynamic:
+                    scan(duration)  # feeds-control stalls stay in the slice
+        scan(module.done_expr)
+        return used
+
+    drops: Set[str] = set()
+    while True:
+        used = referenced_by_retained(drops)
+        new_drops = {
+            w.name for w in user_wires
+            if w.name not in used and w.name not in drops
+        }
+        # Also drop wires that reference dropped state (they can no
+        # longer be evaluated), unless something retained uses them —
+        # in which case the closure was wrong and finalize will raise.
+        for wire in user_wires:
+            if wire.name in drops or wire.name in new_drops:
+                continue
+            if wire.expr.signals() & dropped_signals and wire.name not in used:
+                new_drops.add(wire.name)
+        if not new_drops:
+            return drops
+        drops |= new_drops

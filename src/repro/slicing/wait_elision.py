@@ -1,0 +1,46 @@
+"""Wait-state elision (Sec. 3.5).
+
+A slice that kept the original FSM timing would take as long as the
+full accelerator: "the control unit is not aware that some parts of the
+hardware were removed, and still waits in certain states as if the
+original computation is still taking place."  Elision rewrites the FSM
+transition table so those states pass through immediately.
+
+Which waits are elidable?  Exactly those whose underlying work was
+sliced away — pure datapath computation.  Waits that *feed control*
+(``feeds_control=True``, e.g. a serial bitstream parser producing the
+descriptor fields later control decisions read) must keep their timing:
+the slice genuinely performs that work.  Dynamic waits (opaque serial
+logic) never produce features in this framework, so they are elidable
+whenever their result does not feed control — designs mark them the
+same way.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set, Tuple
+
+from ..rtl.module import Module
+
+StateKey = Tuple[str, str]
+
+
+def elidable_wait_states(module: Module) -> FrozenSet[StateKey]:
+    """Wait states whose computation is sliced away (not feeds_control)."""
+    out: Set[StateKey] = set()
+    for fsm in module.fsms.values():
+        for state in fsm.wait_states:
+            if state not in fsm.control_waits:
+                out.add((fsm.name, state))
+    return frozenset(out)
+
+
+def elidable_dynamic_waits(module: Module) -> FrozenSet[StateKey]:
+    """Dynamic-wait states that do not feed control (yield no features
+    and produce nothing retained logic consumes)."""
+    out: Set[StateKey] = set()
+    for fsm in module.fsms.values():
+        for state in fsm.dynamic_waits:
+            if state not in fsm.control_dynamic:
+                out.add((fsm.name, state))
+    return frozenset(out)

@@ -1,0 +1,77 @@
+"""Unit helpers and shared physical constants.
+
+All internal computation uses SI base units (seconds, hertz, joules,
+watts, square metres are expressed as square micrometres for area since
+that is the natural unit at chip scale).  These helpers exist so that
+code reads ``16.7 * MS`` instead of ``0.0167`` and reviewers can match
+values against the paper directly.
+"""
+
+from __future__ import annotations
+
+# Time.
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+# Frequency.
+HZ = 1.0
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# Energy / power.
+J = 1.0
+MJ = 1e-3
+UJ = 1e-6
+NJ = 1e-9
+PJ = 1e-12
+FJ = 1e-15
+W = 1.0
+MW = 1e-3
+UW = 1e-6
+
+# The 60 fps deadline used throughout the paper's evaluation (Sec. 4.2).
+FRAME_DEADLINE_60FPS = 16.7 * MS
+
+# DVFS switching time, conservatively set to 100 us in the paper.
+DVFS_SWITCH_TIME = 100 * US
+
+
+def cycles_to_time(cycles: int, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` into seconds."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def time_to_cycles(seconds: float, frequency_hz: float) -> int:
+    """Convert seconds into whole cycles at ``frequency_hz`` (rounded up)."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    cycles = seconds * frequency_hz
+    whole = int(cycles)
+    return whole if whole == cycles else whole + 1
+
+
+def format_time(seconds: float) -> str:
+    """Render a time compactly for reports (e.g. ``7.56ms``)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3g}s"
+    if seconds >= MS:
+        return f"{seconds / MS:.3g}ms"
+    if seconds >= US:
+        return f"{seconds / US:.3g}us"
+    return f"{seconds / NS:.3g}ns"
+
+
+def format_frequency(hz: float) -> str:
+    """Render a frequency compactly for reports (e.g. ``250MHz``)."""
+    if hz >= GHZ:
+        return f"{hz / GHZ:.3g}GHz"
+    if hz >= MHZ:
+        return f"{hz / MHZ:.3g}MHz"
+    if hz >= KHZ:
+        return f"{hz / KHZ:.3g}kHz"
+    return f"{hz:.3g}Hz"

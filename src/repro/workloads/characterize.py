@@ -1,0 +1,97 @@
+"""Workload characterization: the statistics DVFS schemes care about.
+
+A controller's fate is determined by three properties of the job
+series it faces: the *spread* of job sizes (how much energy is on the
+table), the *autocorrelation* (whether reactive schemes can track it),
+and the *spike rate* (how often reactive schemes get ambushed).
+``characterize`` computes them from any benchmark's item list using
+each item's intrinsic size proxy, before any simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .datastream import DataPiece
+from .images import Image, RawImage
+from .particles import Timestep
+from .video import Frame
+
+
+def size_proxy(item) -> float:
+    """An architecture-free proxy for a job's work amount."""
+    if isinstance(item, Frame):
+        return float(sum(mb.n_coeffs + 20 for mb in item.mbs))
+    if isinstance(item, Image):
+        return float(sum(s.n_blocks * 40 + s.nnz_total
+                         for s in item.strips))
+    if isinstance(item, RawImage):
+        return float(item.n_pixels)
+    if isinstance(item, Timestep):
+        return float(item.total_pairs)
+    if isinstance(item, DataPiece):
+        return float(item.n_bytes)
+    raise TypeError(f"no size proxy for {type(item).__name__}")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Summary statistics of one job series."""
+
+    n_jobs: int
+    mean: float
+    cv: float               # coefficient of variation (spread)
+    lag1_autocorr: float    # how trackable the series is
+    spike_rate: float       # fraction of jobs > 1.5x the running mean
+
+    @property
+    def reactive_friendly(self) -> bool:
+        """Heuristic: reactive control works when the series is smooth
+        and spikes are rare (the paper's Sec. 2.4 criterion)."""
+        return self.lag1_autocorr > 0.8 and self.spike_rate < 0.02
+
+
+def characterize(items: Sequence) -> WorkloadProfile:
+    """Compute the profile of a workload item list."""
+    sizes = np.array([size_proxy(item) for item in items], dtype=float)
+    if sizes.size < 2:
+        raise ValueError("need at least two jobs to characterize")
+    mean = float(sizes.mean())
+    std = float(sizes.std())
+    cv = std / mean if mean > 0 else 0.0
+    if std < 1e-12:
+        lag1 = 1.0  # a constant series is perfectly trackable
+    else:
+        lag1 = float(np.corrcoef(sizes[:-1], sizes[1:])[0, 1])
+
+    spikes = 0
+    running = sizes[0]
+    for value in sizes[1:]:
+        if value > 1.5 * running:
+            spikes += 1
+        running = 0.8 * running + 0.2 * value
+    return WorkloadProfile(
+        n_jobs=int(sizes.size),
+        mean=mean,
+        cv=cv,
+        lag1_autocorr=lag1,
+        spike_rate=spikes / max(sizes.size - 1, 1),
+    )
+
+
+def profile_table(profiles: dict) -> str:
+    """Render benchmark profiles as an aligned table."""
+    lines = [
+        f"{'bench':10s} {'jobs':>5s} {'cv':>6s} {'lag1':>6s} "
+        f"{'spike%':>7s} {'reactive?':>9s}"
+    ]
+    for name, p in profiles.items():
+        lines.append(
+            f"{name:10s} {p.n_jobs:5d} {p.cv:6.2f} "
+            f"{p.lag1_autocorr:6.2f} {p.spike_rate * 100:7.2f} "
+            f"{'yes' if p.reactive_friendly else 'no':>9s}"
+        )
+    return "\n".join(lines)

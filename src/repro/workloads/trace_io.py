@@ -1,0 +1,78 @@
+"""Workload serialization: save and reload job traces as JSON.
+
+Synthetic workloads are seeded and reproducible, but experiments often
+need to be pinned to an exact trace (e.g. to share a failing job with
+a colleague, or to re-run an evaluation after generator parameters
+change).  ``save_workload``/``load_workload`` round-trip any
+benchmark's item list through a versioned JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, List, Sequence, Union
+
+from .datastream import DataPiece
+from .images import Image, RawImage, Strip
+from .particles import Timestep
+from .video import Frame, MacroblockDesc
+
+FORMAT_VERSION = 1
+
+_ITEM_TYPES = {
+    "Frame": Frame,
+    "Image": Image,
+    "RawImage": RawImage,
+    "Timestep": Timestep,
+    "DataPiece": DataPiece,
+}
+
+
+def _encode_item(item: Any) -> dict:
+    kind = type(item).__name__
+    if kind not in _ITEM_TYPES:
+        raise TypeError(f"cannot serialize workload item {kind!r}")
+    return {"kind": kind, "data": asdict(item)}
+
+
+def _decode_item(payload: dict) -> Any:
+    kind = payload["kind"]
+    if kind not in _ITEM_TYPES:
+        raise ValueError(f"unknown workload item kind {kind!r}")
+    data = dict(payload["data"])
+    if kind == "Frame":
+        data["mbs"] = tuple(
+            MacroblockDesc(**mb) for mb in data["mbs"]
+        )
+    elif kind == "Image":
+        data["strips"] = tuple(Strip(**s) for s in data["strips"])
+    elif kind == "Timestep":
+        data["neighbor_counts"] = tuple(data["neighbor_counts"])
+    return _ITEM_TYPES[kind](**data)
+
+
+def save_workload(items: Sequence[Any],
+                  path: Union[str, Path]) -> None:
+    """Write a workload item list to ``path`` as JSON."""
+    document = {
+        "version": FORMAT_VERSION,
+        "n_items": len(items),
+        "items": [_encode_item(item) for item in items],
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_workload(path: Union[str, Path]) -> List[Any]:
+    """Reload a workload item list written by :func:`save_workload`."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported workload format version {version!r}"
+        )
+    items = [_decode_item(p) for p in document["items"]]
+    if len(items) != document.get("n_items"):
+        raise ValueError("workload file is inconsistent")
+    return items

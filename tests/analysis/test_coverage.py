@@ -1,0 +1,50 @@
+"""Feature-visibility diagnostic tests."""
+
+import pytest
+
+from repro.analysis.coverage import (
+    visibility_by_benchmark,
+    visibility_report,
+)
+from tests.conftest import build_toy, pack_item
+
+
+def test_toy_visibility_attribution():
+    module = build_toy()
+    items = [pack_item(10, 0), pack_item(5, 1)]
+    report = visibility_report(
+        module, [({"n_items": 2}, {"items": items})])
+    # The toy has no dynamic waits: everything is visible.
+    assert report.dynamic_wait_cycles == 0
+    assert report.visible_fraction == 1.0
+    # Waits dominate (work cycles >> step cycles).
+    assert report.counter_wait_cycles > report.step_cycles
+    assert (report.counter_wait_cycles + report.step_cycles
+            == report.total_cycles)
+
+
+def test_visibility_accounts_all_cycles():
+    module = build_toy()
+    items = [pack_item(3, 1)]
+    report = visibility_report(
+        module, [({"n_items": 1}, {"items": items})])
+    assert (report.counter_wait_cycles + report.dynamic_wait_cycles
+            + report.step_cycles == report.total_cycles)
+
+
+def test_djpeg_less_visible_than_cjpeg():
+    """The diagnostic predicts Fig 10: djpeg's serial Huffman decode is
+    invisible, cjpeg is fully counter-backed."""
+    reports = visibility_by_benchmark(("cjpeg", "djpeg"), scale=0.1,
+                                      n_jobs=3)
+    assert reports["cjpeg"].invisible_fraction < 0.01
+    assert reports["djpeg"].invisible_fraction > 0.05
+    assert (reports["djpeg"].visible_fraction
+            < reports["cjpeg"].visible_fraction)
+
+
+def test_h264_small_invisible_share():
+    reports = visibility_by_benchmark(("h264",), scale=0.1, n_jobs=2)
+    r = reports["h264"]
+    # The hidden CABAC stall is a few percent of the job.
+    assert 0.005 < r.invisible_fraction < 0.10

@@ -1,0 +1,120 @@
+"""Structural FSM/counter detection tests."""
+
+import pytest
+
+from repro.analysis import detect_counters, detect_fsms
+from repro.rtl import Fsm, Module, Sig, down_counter, synthesize, up_counter
+from tests.conftest import build_toy
+
+
+@pytest.fixture(scope="module")
+def toy():
+    module = build_toy()
+    return module, synthesize(module)
+
+
+def test_detects_the_control_fsm(toy):
+    module, netlist = toy
+    fsms = detect_fsms(netlist)
+    nets = {f.state_net for f in fsms}
+    assert "ctrl__state" in nets
+
+
+def test_detected_fsm_has_all_states_and_arcs(toy):
+    module, netlist = toy
+    det = next(f for f in detect_fsms(netlist) if f.state_net == "ctrl__state")
+    ctrl = module.fsms["ctrl"]
+    assert set(det.codes) == set(ctrl.states.values())
+    pairs = {(t.src_code, t.dst_code) for t in det.transitions}
+    expected = {
+        (ctrl.code_of(t.src), ctrl.code_of(t.dst)) for t in ctrl.transitions
+    }
+    assert pairs == expected
+
+
+def test_detects_all_three_counters(toy):
+    module, netlist = toy
+    counters = {c.net: c for c in detect_counters(netlist)}
+    assert counters["c_a"].mode == "down"
+    assert counters["c_b"].mode == "down"
+    assert counters["items_done"].mode == "up"
+    assert counters["c_a"].step == 1
+
+
+def test_counters_not_detected_as_fsms(toy):
+    module, netlist = toy
+    nets = {f.state_net for f in detect_fsms(netlist)}
+    assert not nets & {"c_a", "c_b", "items_done", "idx"}
+
+
+def test_fsm_not_detected_as_counter(toy):
+    module, netlist = toy
+    nets = {c.net for c in detect_counters(netlist)}
+    assert "ctrl__state" not in nets
+
+
+def test_plain_register_not_detected_at_all(toy):
+    """idx accumulates via entry actions — neither FSM nor counter."""
+    module, netlist = toy
+    assert "idx" not in {f.state_net for f in detect_fsms(netlist)}
+    assert "idx" not in {c.net for c in detect_counters(netlist)}
+
+
+def _make_module_with(builder):
+    m = Module("t")
+    start = m.port("start", 1)
+    fsm = Fsm("f", initial="A")
+    fsm.transition("A", "B", cond=start)
+    m.fsm(fsm)
+    builder(m, fsm)
+    m.set_done(Sig("f__state") == fsm.code_of("B"))
+    return m.finalize()
+
+
+def test_flag_register_gated_on_other_fsm_rejected():
+    """A flag written with constants under another FSM's state is not an
+    FSM: its next logic never compares against its own output."""
+    def build(m, fsm):
+        m.reg("flag", 1)
+        m.update("flag", 1, fsm="f", state="A")
+        m.update("flag", 0, fsm="f", state="B")
+    netlist = synthesize(_make_module_with(build))
+    assert "flag" not in {f.state_net for f in detect_fsms(netlist)}
+
+
+def test_variable_step_accumulator_rejected_as_counter():
+    def build(m, fsm):
+        amount = m.port("amount", 8)
+        m.reg("acc", 32)
+        m.update("acc", Sig("acc") + amount, cond=Sig("start"))
+    netlist = synthesize(_make_module_with(build))
+    assert "acc" not in {c.net for c in detect_counters(netlist)}
+
+
+def test_step_two_down_counter_detected():
+    def build(m, fsm):
+        n = m.port("n", 16)
+        m.counter(down_counter("c2", load_cond=Sig("start"),
+                               load_value=n, step=2))
+    netlist = synthesize(_make_module_with(build))
+    counters = {c.net: c for c in detect_counters(netlist)}
+    assert counters["c2"].step == 2
+    assert counters["c2"].mode == "down"
+
+
+def test_gated_up_counter_detected():
+    def build(m, fsm):
+        en = m.port("en", 1)
+        m.counter(up_counter("cu", reset_cond=Sig("start"), enable=en))
+    netlist = synthesize(_make_module_with(build))
+    counters = {c.net: c for c in detect_counters(netlist)}
+    assert counters["cu"].mode == "up"
+
+
+def test_detected_counter_nets_point_at_load_logic(toy):
+    module, netlist = toy
+    det = next(c for c in detect_counters(netlist) if c.net == "c_a")
+    # The load condition cone should reach the FETCH->COMP_A criteria.
+    cone = netlist.fanin_closure([det.load_cond_net])
+    names = {netlist.cells[i].provenance.name for i in cone}
+    assert "ctrl:1" in names  # arc index 1 is FETCH->COMP_A

@@ -1,0 +1,146 @@
+"""Detection robustness: hand-built near-miss netlist patterns.
+
+The detectors must not fire on structures that merely resemble FSMs or
+counters — these tests build netlists cell by cell, bypassing the
+synthesizer, to probe the pattern matchers' edges the way a hostile
+(or just unusual) RTL would.
+"""
+
+import pytest
+
+from repro.analysis import detect_counters, detect_fsms
+from repro.rtl.netlist import Netlist, Provenance
+
+
+def base_netlist():
+    nl = Netlist("adv")
+    nl.add("PORT", (), out="in0")
+    nl.add("CONST", (), out="k0", param=0)
+    nl.add("CONST", (), out="k1", param=1)
+    nl.add("CONST", (), out="k2", param=2)
+    return nl
+
+
+def test_true_fsm_pattern_detected():
+    nl = base_netlist()
+    # next = MUX(sel0, 1, MUX(sel1, 2, hold)) with self-compares.
+    nl.add("EQ", ("state", "k0"), out="is0", width=1)
+    nl.add("AND", ("is0", "in0"), out="sel0", width=1)
+    nl.add("EQ", ("state", "k1"), out="is1", width=1)
+    nl.add("AND", ("is1", "in0"), out="sel1", width=1)
+    nl.add("MUX", ("sel1", "k2", "state"), out="m1")
+    nl.add("MUX", ("sel0", "k1", "m1"), out="m0")
+    nl.add("DFF", ("m0",), out="state")
+    found = detect_fsms(nl)
+    assert len(found) == 1
+    assert found[0].state_net == "state"
+    assert {(t.src_code, t.dst_code) for t in found[0].transitions} \
+        == {(0, 1), (1, 2)}
+
+
+def test_mux_chain_without_self_compare_rejected():
+    nl = base_netlist()
+    # Selects depend only on the input, never on the register itself.
+    nl.add("MUX", ("in0", "k1", "flag"), out="next")
+    nl.add("DFF", ("next",), out="flag")
+    assert detect_fsms(nl) == []
+
+
+def test_mux_chain_with_nonconstant_data_rejected():
+    nl = base_netlist()
+    nl.add("EQ", ("state", "k0"), out="is0", width=1)
+    nl.add("ADD", ("state", "k1"), out="inc")
+    nl.add("MUX", ("is0", "inc", "state"), out="next")
+    nl.add("DFF", ("next",), out="state")
+    assert detect_fsms(nl) == []
+
+
+def test_chain_not_terminating_in_hold_rejected():
+    nl = base_netlist()
+    nl.add("EQ", ("state", "k0"), out="is0", width=1)
+    # Fallthrough goes to a port, not back to the register.
+    nl.add("MUX", ("is0", "k1", "in0"), out="next")
+    nl.add("DFF", ("next",), out="state")
+    assert detect_fsms(nl) == []
+
+
+def test_true_down_counter_detected():
+    nl = base_netlist()
+    nl.add("SUB", ("cnt", "k1"), out="dec")
+    nl.add("GT", ("cnt", "k0"), out="gt", width=1)
+    nl.add("MUX", ("gt", "dec", "cnt"), out="tickmux")
+    nl.add("MUX", ("in0", "k2", "tickmux"), out="next")
+    nl.add("DFF", ("next",), out="cnt")
+    found = detect_counters(nl)
+    assert len(found) == 1
+    assert found[0].mode == "down"
+    assert found[0].step == 1
+    assert found[0].load_cond_net == "in0"
+
+
+def test_down_counter_without_gt_guard_rejected():
+    """A decrementing register with no `> 0` guard can wrap — not the
+    wait-counter idiom, and its range is not a latency."""
+    nl = base_netlist()
+    nl.add("SUB", ("cnt", "k1"), out="dec")
+    nl.add("MUX", ("in0", "dec", "cnt"), out="tickmux")
+    nl.add("MUX", ("in0", "k2", "tickmux"), out="next")
+    nl.add("DFF", ("next",), out="cnt")
+    assert detect_counters(nl) == []
+
+
+def test_variable_decrement_rejected():
+    nl = base_netlist()
+    nl.add("SUB", ("cnt", "in0"), out="dec")  # data-dependent step
+    nl.add("GT", ("cnt", "k0"), out="gt", width=1)
+    nl.add("MUX", ("gt", "dec", "cnt"), out="tickmux")
+    nl.add("MUX", ("in0", "k2", "tickmux"), out="next")
+    nl.add("DFF", ("next",), out="cnt")
+    assert detect_counters(nl) == []
+
+
+def test_up_counter_with_nonzero_reset_rejected():
+    """Up counters must reset to zero for APV capture to mean range."""
+    nl = base_netlist()
+    nl.add("ADD", ("cnt", "k1"), out="inc")
+    nl.add("MUX", ("in0", "k2", "inc"), out="next")  # resets to 2
+    nl.add("DFF", ("next",), out="cnt")
+    assert detect_counters(nl) == []
+
+
+def test_up_counter_with_zero_reset_detected():
+    nl = base_netlist()
+    nl.add("ADD", ("cnt", "k1"), out="inc")
+    nl.add("MUX", ("in0", "k0", "inc"), out="next")
+    nl.add("DFF", ("next",), out="cnt")
+    found = detect_counters(nl)
+    assert len(found) == 1
+    assert found[0].mode == "up"
+
+
+def test_subtract_of_other_register_rejected():
+    nl = base_netlist()
+    nl.add("DFF", ("in0",), out="other")
+    nl.add("SUB", ("other", "k1"), out="dec")  # not self-referencing
+    nl.add("GT", ("cnt", "k0"), out="gt", width=1)
+    nl.add("MUX", ("gt", "dec", "cnt"), out="tickmux")
+    nl.add("MUX", ("in0", "k2", "tickmux"), out="next")
+    nl.add("DFF", ("next",), out="cnt")
+    assert detect_counters(nl) == []
+
+
+def test_dff_behind_seqctl_not_traversed():
+    """Cone walks stop at opaque SEQCTL macros."""
+    nl = base_netlist()
+    nl.add("SEQCTL", ("in0",), out="busy", width=1)
+    nl.add("EQ", ("state", "k0"), out="is0", width=1)
+    nl.add("AND", ("is0", "busy"), out="sel", width=1)
+    nl.add("MUX", ("sel", "k1", "state"), out="next")
+    nl.add("DFF", ("next",), out="state")
+    found = detect_fsms(nl)
+    # Still detected (the self-compare is outside the macro) ...
+    assert len(found) == 1
+    # ... and the cone helper stayed bounded.
+    cone = nl.comb_cone("sel")
+    kinds = {c.kind for c in cone}
+    assert "SEQCTL" in kinds  # reached as a frontier, not entered

@@ -1,0 +1,26 @@
+"""Detection report rendering tests."""
+
+from repro.accelerators import get_design
+from repro.analysis.report import detection_report
+from repro.rtl import synthesize
+from tests.conftest import build_toy
+
+
+def test_toy_report_contents():
+    module = build_toy()
+    text = detection_report(module, synthesize(module))
+    assert "design toy" in text
+    assert "FSMs detected: 1" in text
+    assert "ctrl [ok]" in text
+    assert "FETCH -> COMP_A" in text
+    assert "c_a: down, step 1" in text
+    assert "items_done: up" in text
+    assert "candidate features: 13" in text
+
+
+def test_report_marks_every_construct_ok_on_benchmarks():
+    for name in ("md", "sha"):
+        module = get_design(name).build()
+        text = detection_report(module, synthesize(module))
+        assert "MISSED" not in text, name
+        assert "um^2 ASIC" in text

@@ -1,0 +1,135 @@
+"""Shared fixtures: a toy accelerator mirroring the paper's Figure 8.
+
+The toy processes ``n_items`` items from a scratchpad.  Each item word
+packs a work amount (bits 0-7) and a mode bit (bit 8).  Mode 0 items
+take ``3*work`` cycles in COMP_A; mode 1 items take ``7*work`` cycles
+in COMP_B — the input-dependent control decision that drives all of the
+paper's machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtl import (
+    DatapathBlock,
+    Fsm,
+    MemRead,
+    Module,
+    Sig,
+    down_counter,
+    up_counter,
+)
+
+
+def build_toy(with_datapath: bool = True) -> Module:
+    """Build and finalize the toy accelerator."""
+    m = Module("toy")
+    n_items = m.port("n_items", 16)
+    m.memory("items", depth=256, width=16)
+
+    idx = m.reg("idx", 16)
+    cur = m.wire("cur", MemRead("items", Sig("idx")), 16)
+    work = m.wire("work", Sig("cur") & 0xFF, 8)
+    mode = m.wire("mode", (Sig("cur") >> 8) & 1, 1)
+
+    ctrl = Fsm("ctrl", initial="IDLE")
+    ctrl.transition("IDLE", "FETCH", cond=n_items > 0)
+    ctrl.transition("FETCH", "COMP_A", cond=mode == 0)
+    ctrl.transition("FETCH", "COMP_B")
+    ctrl.transition("COMP_A", "EMIT", actions=[("idx", idx + 1)])
+    ctrl.transition("COMP_B", "EMIT", actions=[("idx", idx + 1)])
+    ctrl.transition("EMIT", "FETCH", cond=idx < n_items)
+    ctrl.transition("EMIT", "DONE")
+    ctrl.wait_state("COMP_A", "c_a")
+    ctrl.wait_state("COMP_B", "c_b")
+    m.fsm(ctrl)
+
+    m.counter(down_counter(
+        "c_a", load_cond=ctrl.arc_signal("FETCH", "COMP_A"),
+        load_value=work * 3, width=16,
+    ))
+    m.counter(down_counter(
+        "c_b", load_cond=ctrl.arc_signal("FETCH", "COMP_B"),
+        load_value=work * 7, width=16,
+    ))
+    m.counter(up_counter(
+        "items_done",
+        reset_cond=ctrl.arc_signal("IDLE", "FETCH"),
+        enable=ctrl.entry_signal("EMIT"),
+        width=16,
+    ))
+
+    if with_datapath:
+        m.datapath(DatapathBlock(
+            "alu_a", cells={"MUL": 4, "ADD": 8}, width=16,
+            inputs=("cur",), active_states=(("ctrl", "COMP_A"),),
+        ))
+        m.datapath(DatapathBlock(
+            "alu_b", cells={"MUL": 12, "ADD": 16}, width=16,
+            inputs=("cur",), active_states=(("ctrl", "COMP_B"),),
+        ))
+
+    m.set_done(Sig("ctrl__state") == ctrl.code_of("DONE"))
+    return m.finalize()
+
+
+def toy_expected_cycles(items) -> int:
+    """Closed-form cycle count of the toy for an item list."""
+    total = 1  # IDLE -> FETCH
+    for word in items:
+        work = word & 0xFF
+        mode = (word >> 8) & 1
+        total += 3 + (7 if mode else 3) * work
+    return total
+
+
+def pack_item(work: int, mode: int) -> int:
+    return (mode & 1) << 8 | (work & 0xFF)
+
+
+@pytest.fixture
+def toy_module() -> Module:
+    return build_toy()
+
+
+class ToyDesign:
+    """AcceleratorDesign-compatible wrapper for the toy (flow tests)."""
+
+    from repro.units import MHZ as _MHZ
+
+    name = "toy"
+    description = "toy accelerator"
+    task_description = "process one item list"
+    nominal_frequency = 100 * 1e6
+    deadline = 16.7e-3
+
+    def __init__(self):
+        self._module = None
+
+    def build(self):
+        if self._module is None:
+            self._module = build_toy()
+        return self._module
+
+    def encode_job(self, items):
+        from repro.accelerators.base import JobInput
+        return JobInput(
+            inputs={"n_items": len(items)},
+            memories={"items": list(items)},
+            coarse_param=len(items) // 4,
+        )
+
+
+def toy_workload(n_jobs: int, seed: int):
+    """Random item lists for the toy design."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for _ in range(n_jobs):
+        n = int(rng.integers(2, 14))
+        jobs.append([
+            pack_item(int(rng.integers(0, 200)), int(rng.integers(0, 2)))
+            for _ in range(n)
+        ])
+    return jobs

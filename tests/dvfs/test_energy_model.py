@@ -1,0 +1,152 @@
+"""Energy model and DVFS model tests."""
+
+import pytest
+
+from repro.dvfs import (
+    ASIC_VOLTAGES,
+    AsicEnergyModel,
+    AsicVfModel,
+    FpgaEnergyModel,
+    JobActivity,
+    OperatingPoint,
+    activity_from_run,
+    build_level_table,
+    required_frequency,
+    select_level,
+)
+from repro.rtl import Simulation, synthesize
+from repro.units import MHZ, MS
+from tests.conftest import build_toy, pack_item
+
+
+@pytest.fixture(scope="module")
+def toy_energy():
+    module = build_toy()
+    netlist = synthesize(module)
+    return module, AsicEnergyModel.from_netlist(netlist), netlist
+
+
+@pytest.fixture(scope="module")
+def levels():
+    vf = AsicVfModel.characterize(250 * MHZ)
+    return build_level_table(vf, ASIC_VOLTAGES)
+
+
+def test_dynamic_energy_scales_quadratically(toy_energy):
+    _, model, _ = toy_energy
+    activity = JobActivity(cycles=1000)
+    nominal = OperatingPoint(1.0, 250 * MHZ)
+    half_v = OperatingPoint(0.5, 125 * MHZ)
+    # Zero-duration isolates the dynamic part.
+    e1 = model.job_energy(activity, nominal, duration=0.0)
+    e2 = model.job_energy(activity, half_v, duration=0.0)
+    assert e2 == pytest.approx(e1 * 0.25)
+
+
+def test_leakage_integrates_over_time(toy_energy):
+    _, model, _ = toy_energy
+    activity = JobActivity(cycles=1000)
+    point = OperatingPoint(1.0, 250 * MHZ)
+    e_short = model.job_energy(activity, point, duration=1 * MS)
+    e_long = model.job_energy(activity, point, duration=2 * MS)
+    assert e_long > e_short
+    leak_power = (e_long - e_short) / (1 * MS)
+    assert leak_power > 0
+
+
+def test_datapath_energy_counted_only_when_active(toy_energy):
+    _, model, _ = toy_energy
+    idle = JobActivity(cycles=1000, block_cycles={"alu_a": 0, "alu_b": 0})
+    busy = JobActivity(cycles=1000, block_cycles={"alu_a": 900, "alu_b": 0})
+    point = OperatingPoint(1.0, 250 * MHZ)
+    assert (model.job_energy(busy, point, 0.0)
+            > model.job_energy(idle, point, 0.0))
+
+
+def test_activity_from_run_maps_states(toy_energy):
+    module, _, _ = toy_energy
+    sim = Simulation(module)
+    items = [pack_item(10, 0), pack_item(10, 1)]
+    sim.load(inputs={"n_items": 2}, memories={"items": items})
+    result = sim.run()
+    activity = activity_from_run(module, result)
+    assert activity.cycles == result.cycles
+    assert activity.block_cycles["alu_a"] == result.cycles_in("ctrl", "COMP_A")
+    assert activity.block_cycles["alu_b"] == result.cycles_in("ctrl", "COMP_B")
+    assert activity.block_cycles["alu_a"] == 31  # 10*3 wait + 1 exit cycle
+
+
+def test_running_slower_at_lower_voltage_saves_energy(toy_energy, levels):
+    """The core DVFS premise: lowest feasible level wins on energy."""
+    _, model, _ = toy_energy
+    cycles = 2_000_000
+    activity = JobActivity(cycles=cycles)
+    energies = []
+    for point in levels:
+        t_exec = cycles / point.frequency
+        energies.append(model.job_energy(activity, point, t_exec))
+    # Energies increase with level (voltage) despite shorter runtimes.
+    assert energies == sorted(energies)
+
+
+def test_fpga_energy_model_shape(toy_energy):
+    module, _, netlist = toy_energy
+    model = FpgaEnergyModel.from_netlist(netlist)
+    activity = JobActivity(cycles=1000, block_cycles={"alu_b": 500})
+    point = OperatingPoint(1.0, 100 * MHZ)
+    assert model.job_energy(activity, point, 1 * MS) > 0
+    # V^2 scaling holds for FPGA dynamic too.
+    low = OperatingPoint(0.5, 50 * MHZ)
+    assert (model.job_energy(activity, low, 0.0)
+            == pytest.approx(model.job_energy(activity, point, 0.0) * 0.25))
+
+
+def test_required_frequency_math():
+    # 1M cycles, 10ms budget, no overheads: 100 MHz.
+    f = required_frequency(1_000_000, 250 * MHZ, budget=10 * MS)
+    assert f == pytest.approx(100 * MHZ)
+    # 10% margin raises it accordingly.
+    f = required_frequency(1_000_000, 250 * MHZ, budget=10 * MS,
+                           margin_fraction=0.1)
+    assert f == pytest.approx(110 * MHZ)
+    # Overheads shrink the available budget.
+    f = required_frequency(1_000_000, 250 * MHZ, budget=10 * MS,
+                           t_slice=1 * MS, t_switch=1 * MS)
+    assert f == pytest.approx(125 * MHZ)
+    # No budget at all -> infinite requirement.
+    assert required_frequency(1, 250 * MHZ, budget=1 * MS,
+                              t_slice=2 * MS) == float("inf")
+
+
+def test_select_level_picks_lowest_meeting(levels):
+    budget = 16.7 * MS
+    # A tiny job can use the slowest level.
+    decision = select_level(levels, 1000, budget)
+    assert decision.feasible
+    assert decision.point == levels.slowest
+    # A job needing exactly nominal.
+    cycles = int(levels.nominal.frequency * budget)
+    decision = select_level(levels, cycles, budget)
+    assert decision.feasible
+    assert decision.point == levels.nominal
+
+
+def test_select_level_infeasible_runs_flat_out(levels):
+    budget = 1 * MS
+    cycles = int(levels.nominal.frequency * budget * 2)
+    decision = select_level(levels, cycles, budget)
+    assert not decision.feasible
+    assert decision.point == levels.nominal
+    boosted = select_level(levels, cycles, budget, allow_boost=True)
+    assert boosted.point == levels.boost
+
+
+def test_select_level_boost_when_barely_infeasible(levels):
+    budget = 10 * MS
+    # Needs 4% more than nominal: only boost can deliver.
+    cycles = int(levels.nominal.frequency * budget * 1.04)
+    without = select_level(levels, cycles, budget)
+    assert not without.feasible
+    with_boost = select_level(levels, cycles, budget, allow_boost=True)
+    assert with_boost.feasible
+    assert with_boost.point.is_boost

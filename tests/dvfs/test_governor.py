@@ -1,0 +1,99 @@
+"""Interval-governor (devfreq simple_ondemand style) tests."""
+
+import pytest
+
+from repro.dvfs import (
+    ASIC_VOLTAGES,
+    AsicVfModel,
+    IntervalGovernorController,
+    JobActivity,
+    build_level_table,
+)
+from repro.runtime import JobRecord, Task, run_episode
+from repro.units import MHZ, MS
+
+
+class FlatEnergyModel:
+    v_nominal = 1.0
+
+    def job_energy(self, activity, point, duration):
+        return activity.cycles * 1e-9 * point.voltage ** 2 + 1e-3 * duration
+
+
+@pytest.fixture(scope="module")
+def levels():
+    return build_level_table(AsicVfModel.characterize(250 * MHZ),
+                             ASIC_VOLTAGES)
+
+
+def job(index, cycles):
+    return JobRecord(index=index, actual_cycles=cycles,
+                     activity=JobActivity(cycles=cycles))
+
+
+TASK = Task("t", deadline=16.7 * MS)
+
+
+def test_parameter_validation(levels):
+    with pytest.raises(ValueError, match="up_threshold"):
+        IntervalGovernorController(levels, 0.0, up_threshold=1.5)
+    with pytest.raises(ValueError, match="down_differential"):
+        IntervalGovernorController(levels, 0.0, up_threshold=0.5,
+                                   down_differential=0.6)
+
+
+def test_starts_at_nominal(levels):
+    gov = IntervalGovernorController(levels, 100e-6)
+    assert gov.plan(job(0, 1000), TASK.deadline).point == levels.nominal
+
+
+def test_scales_down_on_low_utilization(levels):
+    gov = IntervalGovernorController(levels, 100e-6)
+    light = int(levels.nominal.frequency * 2 * MS)  # ~12% utilization
+    result = run_episode(gov, [job(i, light) for i in range(6)], TASK,
+                         FlatEnergyModel())
+    # After the first observation, the governor drops the level.
+    assert result.outcomes[0].frequency == levels.nominal.frequency
+    assert result.outcomes[-1].frequency < levels.nominal.frequency
+
+
+def test_scales_back_up_on_saturation(levels):
+    gov = IntervalGovernorController(levels, 100e-6)
+    light = int(levels.nominal.frequency * 1 * MS)
+    heavy = int(levels.nominal.frequency * 14 * MS)
+    jobs = [job(0, light), job(1, light), job(2, heavy), job(3, heavy)]
+    result = run_episode(gov, jobs, TASK, FlatEnergyModel())
+    # The heavy job arrives while the level is low -> utilization
+    # explodes -> governor jumps back up for the following job.
+    assert result.outcomes[3].frequency > result.outcomes[2].frequency
+
+
+def test_holds_within_hysteresis_band(levels):
+    gov = IntervalGovernorController(levels, 100e-6, up_threshold=0.9,
+                                     down_differential=0.15)
+    gov.plan(job(0, 1), TASK.deadline)
+    # Utilization 0.8 sits inside (0.75, 0.9): hold the level.
+    busy = int(levels.nominal.frequency * 0.8 * TASK.deadline)
+    gov.observe(job(0, busy))
+    assert gov.plan(job(1, 1), TASK.deadline).point == levels.nominal
+
+
+def test_governor_lags_spiky_workloads(levels):
+    """The paper's point: interval governors mis-handle variability."""
+    gov = IntervalGovernorController(levels, 100e-6)
+    light = int(levels.nominal.frequency * 1.5 * MS)
+    heavy = int(levels.nominal.frequency * 15 * MS)
+    jobs = []
+    for i in range(30):
+        jobs.append(job(i, heavy if i % 5 == 4 else light))
+    result = run_episode(gov, jobs, TASK, FlatEnergyModel())
+    # Every spike lands while the governor idles at a low level.
+    assert result.miss_count >= 4
+
+
+def test_reset_restores_nominal(levels):
+    gov = IntervalGovernorController(levels, 100e-6)
+    gov.plan(job(0, 1), TASK.deadline)
+    gov.observe(job(0, int(levels.nominal.frequency * 1 * MS)))
+    gov.reset()
+    assert gov.plan(job(1, 1), TASK.deadline).point == levels.nominal

@@ -1,0 +1,79 @@
+"""PID predictor tests, including the paper's Fig 3 lag behaviour."""
+
+import pytest
+
+from repro.dvfs import PidGains, PidPredictor, replay_errors, tune_pid
+
+
+def test_first_observation_seeds_prediction():
+    pid = PidPredictor()
+    assert pid.predict() is None
+    pid.observe(100.0)
+    assert pid.predict() == 100.0
+
+
+def test_converges_on_constant_series():
+    pid = PidPredictor(PidGains(0.6, 0.05, 0.1))
+    for _ in range(50):
+        pid.observe(42.0)
+    assert pid.predict() == pytest.approx(42.0, rel=1e-6)
+
+
+def test_tracks_slow_ramp():
+    pid = PidPredictor(PidGains(0.8, 0.1, 0.1))
+    value = 100.0
+    for step in range(200):
+        value += 0.5
+        pid.observe(value)
+    assert pid.predict() == pytest.approx(value, rel=0.02)
+
+
+def test_lags_behind_spikes_like_fig3():
+    """A one-frame spike causes an under-prediction at the spike and an
+    over-prediction right after — the paper's Fig 3 failure mode."""
+    pid = PidPredictor(PidGains(0.8, 0.0, 0.0))
+    for _ in range(20):
+        pid.observe(100.0)
+    # Spike arrives: the controller had predicted ~100.
+    before_spike = pid.predict()
+    assert before_spike == pytest.approx(100.0, rel=1e-6)
+    pid.observe(200.0)  # the spike itself (under-predicted by ~100)
+    after_spike = pid.predict()
+    assert after_spike > 150.0  # now it over-predicts the next normal job
+    pid.observe(100.0)
+
+
+def test_prediction_never_negative():
+    pid = PidPredictor(PidGains(1.0, 0.5, 0.5))
+    pid.observe(100.0)
+    for _ in range(10):
+        pid.observe(0.001)
+    assert pid.predict() >= 0.0
+
+
+def test_integral_antiwindup_bounds_response():
+    pid = PidPredictor(PidGains(0.1, 0.2, 0.0), integral_limit=2.0)
+    pid.observe(100.0)
+    for _ in range(500):
+        pid.observe(1000.0)
+    # Without anti-windup the integral would have grown unboundedly and
+    # overshot by orders of magnitude on reversal.
+    pid.observe(100.0)
+    assert pid.predict() < 5000.0
+
+
+def test_replay_errors_zero_for_constant():
+    assert replay_errors([5.0] * 20, PidGains(1.0, 0.0, 0.0)) < 1e-12
+
+
+def test_tune_pid_beats_default_on_structured_series():
+    series = [100.0, 100.0, 100.0, 180.0] * 30  # periodic spikes
+    tuned = tune_pid(series)
+    default_err = replay_errors(series, PidGains(0.6, 0.05, 0.1))
+    tuned_err = replay_errors(series, tuned)
+    assert tuned_err <= default_err
+
+
+def test_tune_pid_short_series_fallback():
+    gains = tune_pid([1.0, 2.0])
+    assert isinstance(gains, PidGains)

@@ -1,0 +1,120 @@
+"""Voltage-frequency model and level table tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dvfs import (
+    ASIC_VOLTAGES,
+    AlphaPowerDevice,
+    AsicVfModel,
+    FPGA_VOLTAGES,
+    Fo4Chain,
+    FpgaVfModel,
+    LevelTable,
+    OperatingPoint,
+    build_level_table,
+)
+from repro.units import MHZ
+
+
+def test_alpha_power_current_monotone():
+    dev = AlphaPowerDevice()
+    assert dev.drive_current(1.0) > dev.drive_current(0.7)
+    with pytest.raises(ValueError):
+        dev.drive_current(0.3)
+
+
+def test_fo4_chain_calibration():
+    cycle = 1.0 / (250 * MHZ)
+    chain = Fo4Chain.calibrate(cycle)
+    assert chain.delay(1.0) == pytest.approx(cycle, rel=1e-12)
+    with pytest.raises(ValueError):
+        Fo4Chain.calibrate(-1.0)
+
+
+def test_asic_vf_nominal_anchor():
+    vf = AsicVfModel.characterize(250 * MHZ)
+    assert vf.frequency_at(1.0) == pytest.approx(250 * MHZ, rel=1e-9)
+    assert vf.scale_at(1.0) == pytest.approx(1.0)
+
+
+def test_asic_vf_halves_near_lowest_level():
+    """At 0.625 V the alpha-power model lands around a third of
+    nominal — bottom levels trade a lot of speed for quadratic energy,
+    the regime the paper's six-level table spans."""
+    vf = AsicVfModel.characterize(500 * MHZ)
+    scale = vf.scale_at(0.625)
+    assert 0.25 < scale < 0.55
+
+
+@given(st.floats(0.5, 1.08), st.floats(0.5, 1.08))
+def test_asic_vf_monotone_property(v1, v2):
+    vf = AsicVfModel.characterize(250 * MHZ)
+    if v1 < v2:
+        assert vf.frequency_at(v1) < vf.frequency_at(v2)
+
+
+def test_fpga_vf_interpolation():
+    vf = FpgaVfModel(f_nominal=100 * MHZ)
+    assert vf.scale_at(1.0) == pytest.approx(1.0)
+    assert vf.scale_at(0.7) == pytest.approx(0.52)
+    # Midpoint of a segment interpolates linearly.
+    mid = vf.scale_at(0.725)
+    assert mid == pytest.approx((0.52 + 0.62) / 2)
+    with pytest.raises(ValueError):
+        vf.scale_at(0.5)
+
+
+def test_fpga_vf_boost_extrapolation():
+    vf = FpgaVfModel(f_nominal=100 * MHZ)
+    assert vf.scale_at(1.08) > 1.0
+
+
+def test_paper_level_tables_have_paper_counts():
+    assert len(ASIC_VOLTAGES) == 6
+    assert len(FPGA_VOLTAGES) == 7
+    assert ASIC_VOLTAGES[0] == 1.0 and ASIC_VOLTAGES[-1] == 0.625
+    # Equally spaced.
+    gaps = {round(a - b, 9) for a, b in zip(ASIC_VOLTAGES, ASIC_VOLTAGES[1:])}
+    assert len(gaps) == 1
+
+
+def test_build_level_table_asic():
+    vf = AsicVfModel.characterize(250 * MHZ)
+    table = build_level_table(vf, ASIC_VOLTAGES)
+    assert len(table) == 6
+    assert table.nominal.voltage == 1.0
+    assert table.slowest.voltage == 0.625
+    assert table.boost is not None
+    assert table.boost.voltage == pytest.approx(1.08)
+    assert table.boost.frequency > table.nominal.frequency
+    freqs = [p.frequency for p in table]
+    assert freqs == sorted(freqs)
+
+
+def test_lowest_meeting_selection():
+    vf = AsicVfModel.characterize(250 * MHZ)
+    table = build_level_table(vf, ASIC_VOLTAGES)
+    # Asking for barely anything gives the slowest level.
+    assert table.lowest_meeting(1.0) == table.slowest
+    # Asking for exactly nominal gives nominal.
+    assert table.lowest_meeting(table.nominal.frequency) == table.nominal
+    # Asking for more than nominal fails without boost.
+    too_fast = table.nominal.frequency * 1.01
+    assert table.lowest_meeting(too_fast) is None
+    assert table.lowest_meeting(too_fast, allow_boost=True) == table.boost
+    # More than even boost can deliver.
+    way_too_fast = table.boost.frequency * 1.01
+    assert table.lowest_meeting(way_too_fast, allow_boost=True) is None
+
+
+def test_level_table_requires_non_boost():
+    with pytest.raises(ValueError):
+        LevelTable([OperatingPoint(1.08, 300 * MHZ, is_boost=True)])
+
+
+def test_operating_point_validation():
+    with pytest.raises(ValueError):
+        OperatingPoint(0.0, 100 * MHZ)
+    with pytest.raises(ValueError):
+        OperatingPoint(1.0, 0.0)

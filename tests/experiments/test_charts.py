@@ -1,0 +1,78 @@
+"""Terminal chart rendering tests."""
+
+import pytest
+
+from repro.experiments.charts import (
+    fig11_chart,
+    fig15_chart,
+    grouped_bars,
+    hbar,
+    line_chart,
+)
+from repro.experiments.fig15_deadlines import Fig15Point
+from repro.runtime import SchemeSummary
+
+
+def test_hbar_scaling():
+    assert hbar(0, 100, width=10) == ""
+    assert hbar(100, 100, width=10) == "█" * 10
+    half = hbar(50, 100, width=10)
+    assert half.startswith("█" * 5)
+    assert len(half) <= 6
+    # Values beyond the max clamp instead of overflowing.
+    assert len(hbar(500, 100, width=10)) == 10
+    assert hbar(5, 0) == ""
+
+
+def test_grouped_bars_layout():
+    text = grouped_bars({
+        "h264": {"baseline": 100.0, "prediction": 65.0},
+        "aes": {"baseline": 100.0, "prediction": 55.0},
+    })
+    assert "h264:" in text and "aes:" in text
+    assert "100.0%" in text and "55.0%" in text
+    # The biggest value gets the longest bar.
+    lines = {l.strip() for l in text.splitlines() if "baseline" in l}
+    assert all("█" * 30 in l for l in lines)
+
+
+def test_grouped_bars_empty():
+    assert grouped_bars({}) == "(no data)"
+
+
+def test_line_chart_markers_and_legend():
+    text = line_chart({
+        "a": [(0, 0), (1, 10)],
+        "b": [(0, 10), (1, 0)],
+    }, height=6, width=20)
+    assert "o=a" in text and "x=b" in text
+    assert text.count("o") >= 2 + 1  # two points plus legend
+    assert "┤" in text
+
+
+def test_line_chart_empty():
+    assert line_chart({}) == "(no data)"
+
+
+def test_fig11_chart_from_summaries():
+    summaries = [
+        SchemeSummary("h264", "baseline", 100.0, 0.0),
+        SchemeSummary("h264", "prediction", 66.0, 0.0),
+    ]
+    text = fig11_chart(summaries)
+    assert "h264:" in text
+    assert "prediction" in text
+
+
+def test_fig15_chart_from_points():
+    points = [
+        Fig15Point(0.6, "prediction", 78.0, 16.0),
+        Fig15Point(1.0, "prediction", 61.0, 0.9),
+        Fig15Point(1.6, "prediction", 53.0, 0.0),
+        Fig15Point(0.6, "baseline", 100.0, 14.0),
+        Fig15Point(1.0, "baseline", 100.0, 0.0),
+        Fig15Point(1.6, "baseline", 100.0, 0.0),
+    ]
+    text = fig15_chart(points)
+    assert "o=prediction" in text
+    assert "x=baseline" in text

@@ -1,0 +1,101 @@
+"""End-to-end offline flow tests on the toy accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.flow import (
+    FlowConfig,
+    build_job_records,
+    generate_predictor,
+    training_records,
+)
+from repro.model import worst_case_error_pct
+from tests.conftest import ToyDesign, toy_workload
+
+
+@pytest.fixture(scope="module")
+def package():
+    design = ToyDesign()
+    return design, generate_predictor(
+        design, toy_workload(60, seed=1), FlowConfig(gamma=1e-4))
+
+
+def test_flow_produces_accurate_predictor(package):
+    design, pkg = package
+    jobs = toy_workload(30, seed=2)
+    predictions = []
+    actuals = []
+    from repro.rtl import Simulation
+    sim = Simulation(pkg.module, track_state_cycles=False)
+    for items in jobs:
+        job = design.encode_job(items)
+        predicted, slice_cycles = pkg.run_slice(job)
+        sim.reset()
+        sim.load(*job.as_pair())
+        actual = sim.run().cycles
+        predictions.append(predicted)
+        actuals.append(actual)
+        assert slice_cycles < actual
+    err = worst_case_error_pct(np.array(predictions), np.array(actuals))
+    assert err < 2.0  # toy is fully feature-determined
+
+
+def test_flow_selects_few_features(package):
+    design, pkg = package
+    assert 1 <= pkg.n_selected_features < pkg.n_candidate_features
+
+
+def test_flow_slice_is_smaller(package):
+    design, pkg = package
+    assert pkg.slice_cost.area_fraction < 0.6
+    assert pkg.slice_cost.asic_area_slice > 0
+
+
+def test_auto_gamma_path(package):
+    design, _ = package
+    pkg = generate_predictor(design, toy_workload(60, seed=1),
+                             FlowConfig(gamma=None))
+    assert pkg.gamma > 0
+    assert pkg.n_selected_features >= 1
+
+
+def test_build_job_records(package):
+    design, pkg = package
+    items = toy_workload(8, seed=3)
+    records = build_job_records(design, pkg, items)
+    assert len(records) == 8
+    for record in records:
+        assert record.actual_cycles > 0
+        assert record.predicted_cycles is not None
+        assert record.slice_cycles > 0
+        assert record.activity.cycles == record.actual_cycles
+        # Datapath activity accounted per block.
+        assert set(record.activity.block_cycles) == {"alu_a", "alu_b"}
+
+
+def test_training_records_reuse_matrix(package):
+    design, pkg = package
+    items = toy_workload(60, seed=1)
+    records = training_records(design, pkg, items)
+    assert len(records) == 60
+    assert records[0].predicted_cycles is None
+    with pytest.raises(ValueError, match="do not match"):
+        training_records(design, pkg, items[:5])
+
+
+def test_slice_prediction_matches_full_features(package):
+    """Predicting from slice-recorded features equals predicting from
+    full-run features — the core slicing correctness property."""
+    design, pkg = package
+    from repro.analysis import FeatureRecorder
+    from repro.rtl import Simulation
+    for items in toy_workload(5, seed=4):
+        job = design.encode_job(items)
+        recorder = FeatureRecorder(pkg.feature_set)
+        sim = Simulation(pkg.module, listener=recorder,
+                         track_state_cycles=False)
+        sim.load(*job.as_pair())
+        sim.run()
+        from_full = pkg.predictor.predict_one(recorder.vector())
+        from_slice, _ = pkg.run_slice(job)
+        assert from_slice == pytest.approx(max(from_full, 0.0), rel=1e-12)

@@ -1,0 +1,116 @@
+"""Cross-module properties the paper's framework rests on.
+
+These run real benchmark designs at a tiny workload scale (bundles are
+cached per session by the runner), checking the invariants that make
+slice-based prediction sound:
+
+* the hardware slice computes the same feature values as the full
+  accelerator, while running much faster;
+* the HLS-level slice computes the same features again, faster still;
+* the software predictor produces identical predictions to the
+  hardware slice;
+* the predictive controller's decisions respect level monotonicity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import record_jobs
+from repro.experiments import bundle_for, tech_context
+from repro.experiments.fig18_hls import build_hls_predictor
+from repro.flow.software import SoftwarePredictor
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def h264_bundle():
+    return bundle_for("h264", SCALE)
+
+
+@pytest.mark.parametrize("name", ["h264", "cjpeg", "aes"])
+def test_slice_features_equal_full_features(name):
+    bundle = bundle_for(name, SCALE)
+    package = bundle.package
+    jobs = [bundle.design.encode_job(item).as_pair()
+            for item in bundle.workload.test[:4]]
+    full = record_jobs(package.module, package.feature_set, jobs)
+    sliced = record_jobs(package.hw_slice.module, package.feature_set,
+                         jobs, ignore_unknown_inputs=True)
+    # Restrict to the features the slice was built for (others may
+    # legitimately read zero in the slice).
+    selected = package.predictor.selected_indices
+    np.testing.assert_array_equal(full.x[:, selected],
+                                  sliced.x[:, selected])
+    # And the slice is an order of magnitude faster.
+    assert (sliced.cycles < full.cycles / 5).all()
+
+
+@pytest.mark.parametrize("name", ["md", "stencil"])
+def test_hls_slice_matches_rtl_prediction(name):
+    bundle = bundle_for(name, SCALE)
+    predictor = build_hls_predictor(bundle)
+    names = bundle.package.feature_set.names()
+    for item, record in zip(bundle.workload.test[:6],
+                            bundle.test_records[:6]):
+        job = bundle.design.encode_job(item)
+        values, cycles = predictor.run(job.inputs, job.memories)
+        vector = np.array([values.get(n, 0.0) for n in names])
+        hls_pred = bundle.package.predictor.predict_one(vector)
+        assert hls_pred == pytest.approx(record.predicted_cycles,
+                                         rel=1e-9)
+        assert cycles < record.slice_cycles or record.slice_cycles < 50
+
+
+def test_software_predictor_matches_hardware_slice(h264_bundle):
+    bundle = h264_bundle
+    sw = SoftwarePredictor.build("h264", bundle.package.predictor)
+    for item, record in zip(bundle.workload.test[:6],
+                            bundle.test_records[:6]):
+        job = bundle.design.encode_job(item)
+        predicted, overhead = sw.predict(job)
+        assert predicted == pytest.approx(record.predicted_cycles,
+                                          rel=1e-9)
+        assert 0 < overhead < 1e-3  # microsecond-scale CPU time
+
+
+def test_software_predictor_unknown_design(h264_bundle):
+    with pytest.raises(KeyError, match="no software implementation"):
+        SoftwarePredictor.build("sha", h264_bundle.package.predictor)
+
+
+def test_predictive_levels_monotone_in_predicted_cycles(h264_bundle):
+    """Bigger predictions never get slower levels (budget fixed)."""
+    from dataclasses import replace
+
+    from repro.experiments import make_controller
+
+    ctx = tech_context(h264_bundle, tech="asic")
+    controller = make_controller(ctx, "prediction")
+    record = h264_bundle.test_records[0]
+    budget = ctx.config.deadline
+    last_freq = 0.0
+    for cycles in np.linspace(1e5, 4.2e6, 25):
+        plan = controller.plan(
+            replace(record, predicted_cycles=float(cycles)), budget)
+        assert plan.point.frequency >= last_freq
+        last_freq = plan.point.frequency
+
+
+def test_job_records_are_internally_consistent(h264_bundle):
+    f0 = h264_bundle.design.nominal_frequency
+    for record in h264_bundle.test_records:
+        # Predictions are in the right ballpark of the truth.
+        ratio = record.predicted_cycles / record.actual_cycles
+        assert 0.8 < ratio < 1.2
+        # Slice adds a small fraction of the job's own time.
+        assert record.slice_cycles < 0.2 * record.actual_cycles
+        # Activity never exceeds total cycles.
+        for cycles in record.activity.block_cycles.values():
+            assert 0 <= cycles <= record.actual_cycles
+
+
+def test_bundle_cache_returns_same_object():
+    a = bundle_for("cjpeg", SCALE)
+    b = bundle_for("cjpeg", SCALE)
+    assert a is b

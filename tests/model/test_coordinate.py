@@ -1,0 +1,72 @@
+"""Coordinate-descent solver tests: agreement with FISTA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import make_objective, solve
+from repro.model.coordinate import solve_coordinate
+
+
+def random_problem(seed, n=50, p=5, noise=0.5):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, p))
+    beta_true = rng.normal(size=p) * 2
+    y = x @ beta_true + noise * rng.normal(size=n)
+    return x, y
+
+
+def test_recovers_exact_solution():
+    x, y = random_problem(1, noise=0.0)
+    obj = make_objective(x, y, alpha=3.0, gamma=0.0)
+    result = solve_coordinate(obj)
+    assert result.converged
+    np.testing.assert_allclose(x @ result.beta, y, atol=1e-4)
+
+
+def test_l1_produces_exact_zeros():
+    rng = np.random.default_rng(2)
+    relevant = rng.normal(size=(100, 2))
+    junk = rng.normal(size=(100, 4))
+    x = np.hstack([relevant, junk])
+    y = relevant @ np.array([4.0, -3.0])
+    obj = make_objective(x, y, alpha=2.0, gamma=4.0)
+    result = solve_coordinate(obj)
+    assert result.converged
+    assert np.all(result.beta[2:] == 0.0)  # exact zeros, not epsilons
+    assert np.all(np.abs(result.beta[:2]) > 0.5)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 200),
+    alpha=st.floats(1.0, 20.0),
+    gamma=st.floats(0.0, 5.0),
+)
+def test_agrees_with_fista(seed, alpha, gamma):
+    """Two structurally different solvers find the same optimum."""
+    x, y = random_problem(seed % 13, n=40, p=4)
+    obj = make_objective(x, y, alpha=alpha, gamma=gamma)
+    fista = solve(obj)
+    coord = solve_coordinate(obj)
+    assert coord.value == pytest.approx(fista.value, rel=1e-4,
+                                        abs=1e-6)
+
+
+def test_intercept_not_thresholded():
+    rng = np.random.default_rng(3)
+    x = np.hstack([rng.normal(size=(60, 1)), np.ones((60, 1))])
+    y = 3.0 * x[:, 0] + 50.0
+    obj = make_objective(x, y, alpha=2.0, gamma=30.0,
+                         intercept_col=1)
+    result = solve_coordinate(obj)
+    assert result.beta[1] == pytest.approx(50.0, rel=0.05)
+
+
+def test_warm_start_converges_fast():
+    x, y = random_problem(4)
+    obj = make_objective(x, y, alpha=5.0, gamma=0.5)
+    cold = solve_coordinate(obj)
+    warm = solve_coordinate(obj, beta0=cold.beta)
+    assert warm.converged
+    assert warm.iterations <= 3

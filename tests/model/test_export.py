@@ -1,0 +1,87 @@
+"""Predictor export tests: JSON round-trip and C header generation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.model import LinearPredictor
+from repro.model.export import (
+    load_predictor,
+    predictor_from_json,
+    predictor_to_json,
+    save_predictor,
+    to_c_header,
+)
+from repro.model.quantize import FixedPointFormat, quantize_predictor
+
+
+def make_predictor():
+    return LinearPredictor(
+        ("stc:ctrl:A->B", "aivs:c_work"),
+        np.array([811.25, 1.5]),
+        intercept=28675.0,
+    )
+
+
+def test_json_round_trip():
+    original = make_predictor()
+    reloaded = predictor_from_json(predictor_to_json(original))
+    assert reloaded.feature_names == original.feature_names
+    np.testing.assert_array_equal(reloaded.coeffs, original.coeffs)
+    assert reloaded.intercept == original.intercept
+    x = np.array([7.0, 1234.0])
+    assert reloaded.predict_one(x) == original.predict_one(x)
+
+
+def test_json_version_check():
+    payload = json.loads(predictor_to_json(make_predictor()))
+    payload["version"] = 99
+    with pytest.raises(ValueError, match="format"):
+        predictor_from_json(json.dumps(payload))
+
+
+def test_file_round_trip(tmp_path):
+    original = make_predictor()
+    path = tmp_path / "model.json"
+    save_predictor(original, path)
+    reloaded = load_predictor(path)
+    assert reloaded.as_dict() == original.as_dict()
+
+
+def test_c_header_structure():
+    quantized = quantize_predictor(make_predictor(),
+                                   FixedPointFormat(fraction_bits=8))
+    header = to_c_header(quantized)
+    assert header.startswith("/* Generated execution-time")
+    assert "#define EXEC_TIME_MODEL_N_FEATURES 2" in header
+    assert "#define EXEC_TIME_MODEL_FRACTION_BITS 8" in header
+    assert "exec_time_model_coeffs[2]" in header
+    assert "acc >> EXEC_TIME_MODEL_FRACTION_BITS" in header
+    # Feature names documented, sanitized to identifiers.
+    assert "STC_CTRL_A__B" in header
+    assert header.rstrip().endswith("#endif /* EXEC_TIME_MODEL_H */")
+
+
+def test_c_header_arithmetic_matches_python():
+    """Evaluate the generated C arithmetic (transliterated) and compare
+    with the quantized predictor."""
+    predictor = make_predictor()
+    quantized = quantize_predictor(predictor,
+                                   FixedPointFormat(fraction_bits=4))
+    features = [9, 40_000]
+    acc = quantized.raw_intercept + sum(
+        f * c for f, c in zip(features, quantized.raw_coeffs))
+    c_result = acc >> 4  # the header's final shift
+    assert c_result == int(quantized.predict_one(features))
+
+
+def test_header_for_real_trained_model():
+    from repro.flow import FlowConfig, generate_predictor
+    from tests.conftest import ToyDesign, toy_workload
+
+    package = generate_predictor(ToyDesign(), toy_workload(30, seed=9),
+                                 FlowConfig(gamma=1e-4))
+    quantized = quantize_predictor(package.predictor)
+    header = to_c_header(quantized, symbol="toy_model")
+    assert f"toy_model_coeffs[{len(package.feature_set)}]" in header

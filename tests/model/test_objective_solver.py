@@ -1,0 +1,133 @@
+"""Objective and solver tests: convexity, gradients, optimality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import make_objective, solve
+
+
+def random_problem(seed, n=40, p=5, alpha=4.0, gamma=0.0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, p))
+    beta_true = rng.normal(size=p) * 3
+    y = x @ beta_true + noise * rng.normal(size=n)
+    return x, y, beta_true
+
+
+def test_objective_validation():
+    x = np.zeros((3, 2))
+    y = np.zeros(3)
+    with pytest.raises(ValueError, match="alpha"):
+        make_objective(x, y, alpha=0.5, gamma=0.0)
+    with pytest.raises(ValueError, match="gamma"):
+        make_objective(x, y, alpha=2.0, gamma=-1.0)
+
+
+def test_residual_weights():
+    x = np.eye(2)
+    y = np.array([1.0, -1.0])
+    obj = make_objective(x, y, alpha=5.0, gamma=0.0)
+    beta = np.zeros(2)
+    # residuals = -1 (under) and +1 (over)
+    w = obj.residual_weights(x @ beta - y)
+    assert w.tolist() == [5.0, 1.0]
+
+
+def test_smooth_value_asymmetry():
+    x = np.array([[1.0]])
+    obj_over = make_objective(x, np.array([0.0]), alpha=10.0, gamma=0.0)
+    # beta=+1 -> residual +1 (over): cost 1; beta=-1 -> residual -1: cost 10
+    assert obj_over.smooth_value(np.array([1.0])) == pytest.approx(1.0)
+    assert obj_over.smooth_value(np.array([-1.0])) == pytest.approx(10.0)
+
+
+def test_gradient_matches_finite_differences():
+    x, y, _ = random_problem(1)
+    obj = make_objective(x, y, alpha=6.0, gamma=0.0)
+    rng = np.random.default_rng(2)
+    beta = rng.normal(size=x.shape[1])
+    grad = obj.smooth_grad(beta)
+    eps = 1e-6
+    for i in range(len(beta)):
+        bp, bm = beta.copy(), beta.copy()
+        bp[i] += eps
+        bm[i] -= eps
+        fd = (obj.smooth_value(bp) - obj.smooth_value(bm)) / (2 * eps)
+        assert grad[i] == pytest.approx(fd, rel=1e-4, abs=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    alpha=st.floats(1.0, 50.0),
+    t=st.floats(0.0, 1.0),
+)
+def test_objective_is_convex_along_segments(seed, alpha, t):
+    x, y, _ = random_problem(seed % 17, n=20, p=4)
+    obj = make_objective(x, y, alpha=alpha, gamma=0.3)
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=4)
+    b = rng.normal(size=4)
+    mid = t * a + (1 - t) * b
+    lhs = obj.value(mid)
+    rhs = t * obj.value(a) + (1 - t) * obj.value(b)
+    assert lhs <= rhs + 1e-8
+
+
+def test_solver_recovers_exact_linear_model():
+    x, y, beta_true = random_problem(3, noise=0.0)
+    obj = make_objective(x, y, alpha=4.0, gamma=0.0)
+    result = solve(obj)
+    assert result.converged
+    np.testing.assert_allclose(result.beta, beta_true, rtol=1e-4, atol=1e-5)
+
+
+def test_solver_l1_zeroes_irrelevant_features():
+    rng = np.random.default_rng(4)
+    n = 120
+    relevant = rng.normal(size=(n, 2))
+    junk = rng.normal(size=(n, 6))
+    x = np.hstack([relevant, junk])
+    y = relevant @ np.array([5.0, -2.0])
+    obj = make_objective(x, y, alpha=2.0, gamma=3.0)
+    result = solve(obj)
+    assert result.converged
+    assert np.all(np.abs(result.beta[2:]) < 1e-3)
+    assert np.all(np.abs(result.beta[:2]) > 0.5)
+
+
+def test_solver_intercept_not_penalized():
+    rng = np.random.default_rng(5)
+    x = np.hstack([rng.normal(size=(80, 1)), np.ones((80, 1))])
+    y = 2.0 * x[:, 0] + 100.0
+    obj = make_objective(x, y, alpha=2.0, gamma=50.0)
+    result = solve(obj)
+    # Feature coefficient is shrunk by the strong L1, but the intercept
+    # is free to hold the large offset.
+    assert result.beta[1] == pytest.approx(100.0, rel=0.05)
+
+
+def test_asymmetric_solution_sits_above_symmetric():
+    """With alpha >> 1 the fit biases toward over-prediction."""
+    rng = np.random.default_rng(6)
+    n = 300
+    x = np.ones((n, 1))
+    y = rng.normal(loc=10.0, scale=2.0, size=n)
+    sym = solve(make_objective(x, y, alpha=1.0, gamma=0.0)).beta[0]
+    asym = solve(make_objective(x, y, alpha=25.0, gamma=0.0)).beta[0]
+    assert sym == pytest.approx(np.mean(y), rel=1e-3)
+    assert asym > sym + 1.0  # pushed well above the mean
+    under_rate = float(np.mean(y > asym))
+    assert under_rate < 0.2
+
+
+def test_solver_reaches_reference_optimum():
+    """Cross-check against scipy's general-purpose optimizer."""
+    scipy_opt = pytest.importorskip("scipy.optimize")
+    x, y, _ = random_problem(7, n=60, p=4, noise=1.0)
+    obj = make_objective(x, y, alpha=9.0, gamma=0.0)
+    ours = solve(obj)
+    ref = scipy_opt.minimize(obj.smooth_value, np.zeros(4),
+                             jac=obj.smooth_grad, method="L-BFGS-B")
+    assert ours.value == pytest.approx(ref.fun, rel=1e-6, abs=1e-8)

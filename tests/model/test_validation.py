@@ -1,0 +1,56 @@
+"""Cross-validation and learning-curve tests."""
+
+import pytest
+
+from repro.model import TrainingConfig
+from repro.model.validation import cross_validate, learning_curve
+from tests.model.test_training import synthetic_matrix
+
+
+def test_cross_validate_folds_cover_everything():
+    matrix, _ = synthetic_matrix(seed=11, n=100, noise=50.0)
+    results = cross_validate(matrix, TrainingConfig(gamma=1e-4), k=5)
+    assert len(results) == 5
+    assert sum(r.n_test for r in results) == matrix.n_jobs
+    for r in results:
+        assert r.n_train + r.n_test == matrix.n_jobs
+        assert r.mean_abs_pct < 5.0  # low-noise synthetic data
+
+
+def test_cross_validate_validation():
+    matrix, _ = synthetic_matrix(seed=11, n=12)
+    with pytest.raises(ValueError, match="folds"):
+        cross_validate(matrix, k=1)
+    with pytest.raises(ValueError, match="too few"):
+        cross_validate(matrix, k=10)
+
+
+def test_cross_validate_detects_generalizable_model():
+    matrix, _ = synthetic_matrix(seed=12, n=120, noise=0.0)
+    results = cross_validate(matrix, TrainingConfig(gamma=1e-4), k=4)
+    # Deterministic data: every fold is near-exact.
+    assert max(r.mean_abs_pct for r in results) < 0.5
+
+
+def test_learning_curve_improves_with_data():
+    matrix, _ = synthetic_matrix(seed=13, n=200, noise=200.0)
+    points = learning_curve(matrix, TrainingConfig(gamma=1e-4),
+                            sizes=(0.1, 0.5, 1.0))
+    assert [p.n_train for p in points] == sorted(
+        p.n_train for p in points)
+    # More data never makes things dramatically worse; the largest
+    # training set should be at least as good as the smallest.
+    assert points[-1].mean_abs_pct <= points[0].mean_abs_pct * 1.5
+
+
+def test_learning_curve_on_toy_accelerator_features():
+    """End-to-end: CV works on a real recorded feature matrix."""
+    from repro.flow import FlowConfig, generate_predictor
+    from tests.conftest import ToyDesign, toy_workload
+
+    design = ToyDesign()
+    package = generate_predictor(design, toy_workload(40, seed=5),
+                                 FlowConfig(gamma=1e-4))
+    results = cross_validate(package.train_matrix,
+                             TrainingConfig(gamma=1e-4), k=4)
+    assert max(r.mean_abs_pct for r in results) < 2.0

@@ -1,0 +1,97 @@
+"""Compiled backend tests: cycle-exact equivalence with the interpreter."""
+
+import time
+
+import pytest
+
+from repro.accelerators import get_design
+from repro.rtl import Module, Simulation
+from repro.rtl.compiled import CompiledExpr, compile_expr, compile_module
+from repro.rtl.expr import Const, Mux, Sig
+from repro.workloads import workload_for
+from tests.conftest import build_toy, pack_item, toy_expected_cycles
+from tests.rtl.test_simulator import Recorder
+
+
+def test_compiled_expr_evaluates_like_original():
+    expr = Mux(Sig("s"), Sig("a") * 3 + 1, Sig("b") - 2)
+    compiled = CompiledExpr(expr)
+    for env in ({"s": 1, "a": 4, "b": 9}, {"s": 0, "a": 4, "b": 9}):
+        assert compiled.eval(env) == expr.eval(env)
+    assert compiled.signals() == expr.signals()
+    assert compiled.children() == expr.children()
+
+
+def test_compile_expr_none_passthrough():
+    assert compile_expr(None) is None
+
+
+def test_compiled_expr_unwraps_nested():
+    inner = CompiledExpr(Sig("a") + 1)
+    outer = CompiledExpr(inner)
+    assert outer.original is inner.original
+    assert outer.eval({"a": 5}) == 6
+
+
+def test_compile_module_requires_finalized():
+    with pytest.raises(ValueError, match="finalized"):
+        compile_module(Module("raw"))
+
+
+def test_compiled_toy_is_cycle_exact():
+    items = [pack_item(9, 0), pack_item(3, 1), pack_item(0, 0),
+             pack_item(77, 1)]
+    compiled = compile_module(build_toy())
+    rec_c, rec_i = Recorder(), Recorder()
+
+    sim = Simulation(compiled, listener=rec_c)
+    sim.load(inputs={"n_items": len(items)}, memories={"items": items})
+    result_c = sim.run()
+
+    sim = Simulation(build_toy(), listener=rec_i)
+    sim.load(inputs={"n_items": len(items)}, memories={"items": items})
+    result_i = sim.run()
+
+    assert result_c.cycles == result_i.cycles == toy_expected_cycles(items)
+    assert result_c.state_cycles == result_i.state_cycles
+    assert rec_c.transitions == rec_i.transitions
+    assert rec_c.loads == rec_i.loads
+    assert rec_c.resets == rec_i.resets
+
+
+@pytest.mark.parametrize("name", ["h264", "djpeg", "aes"])
+def test_compiled_benchmark_designs_cycle_exact(name):
+    design = get_design(name)
+    module = design.build()
+    compiled = compile_module(module)
+    workload = workload_for(name, scale=0.1)
+    for item in workload.test[:2]:
+        job = design.encode_job(item)
+        results = []
+        for mod in (module, compiled):
+            sim = Simulation(mod, track_state_cycles=True)
+            sim.load(*job.as_pair())
+            results.append(sim.run())
+        assert results[0].cycles == results[1].cycles
+        assert results[0].state_cycles == results[1].state_cycles
+
+
+def test_compiled_backend_is_faster_on_h264():
+    """Not a strict perf assertion — just that compilation doesn't make
+    things slower (it is typically 2-4x faster)."""
+    design = get_design("h264")
+    module = design.build()
+    compiled = compile_module(module)
+    job = design.encode_job(workload_for("h264", scale=0.1).test[0])
+
+    def timed(mod):
+        sim = Simulation(mod, track_state_cycles=False)
+        sim.load(*job.as_pair())
+        start = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - start
+
+    timed(module), timed(compiled)  # warm caches
+    t_interp = min(timed(module) for _ in range(2))
+    t_compiled = min(timed(compiled) for _ in range(2))
+    assert t_compiled < t_interp * 1.2

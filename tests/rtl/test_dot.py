@@ -1,0 +1,40 @@
+"""DOT exporter tests."""
+
+import pytest
+
+from repro.rtl import synthesize
+from repro.rtl.dot import netlist_to_dot
+from tests.conftest import build_toy
+
+
+@pytest.fixture(scope="module")
+def toy_netlist():
+    return synthesize(build_toy())
+
+
+def test_dot_basic_structure(toy_netlist):
+    dot = netlist_to_dot(toy_netlist)
+    assert dot.startswith('digraph "toy" {')
+    assert dot.rstrip().endswith("}")
+    assert "rankdir=LR" in dot
+    # One node per cell, edges present.
+    assert dot.count("[label=") == len(toy_netlist.cells)
+    assert " -> " in dot
+
+
+def test_dot_clusters_by_construct(toy_netlist):
+    dot = netlist_to_dot(toy_netlist)
+    assert 'label="counter:c_a"' in dot
+    assert 'label="fsm:ctrl"' in dot
+    assert 'label="memory:items"' in dot
+
+
+def test_dot_highlight(toy_netlist):
+    cone = toy_netlist.fanin_closure(["c_a"])
+    dot = netlist_to_dot(toy_netlist, highlight=cone)
+    assert dot.count("fillcolor") == len(cone)
+
+
+def test_dot_size_guard(toy_netlist):
+    with pytest.raises(ValueError, match="max_cells"):
+        netlist_to_dot(toy_netlist, max_cells=3)

@@ -1,0 +1,115 @@
+"""Design lint tests."""
+
+import pytest
+
+from repro.accelerators import ALL_DESIGNS, get_design
+from repro.rtl import Const, Fsm, Module, Sig, down_counter
+from repro.rtl.lint import errors_only, lint_module
+from tests.conftest import build_toy
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+def test_requires_finalized():
+    with pytest.raises(ValueError, match="finalized"):
+        lint_module(Module("raw"))
+
+
+def test_toy_design_is_clean():
+    findings = lint_module(build_toy())
+    assert errors_only(findings) == []
+    assert "unused-wire" not in rules(findings)
+
+
+@pytest.mark.parametrize("name", ALL_DESIGNS)
+def test_benchmark_designs_have_no_errors(name):
+    findings = lint_module(get_design(name).build())
+    assert errors_only(findings) == [], [str(f) for f in findings]
+    # Only djpeg and h264 carry dynamic waits (the info finding).
+    infos = [f for f in findings if f.rule == "wide-dynamic-share"]
+    if name in ("djpeg", "h264"):
+        assert infos
+    else:
+        assert not infos
+
+
+def _skeleton():
+    m = Module("bad")
+    start = m.port("start", 1)
+    fsm = Fsm("f", initial="A")
+    fsm.transition("A", "B", cond=start)
+    m.fsm(fsm)
+    m.set_done(Sig("f__state") == fsm.code_of("B"))
+    return m, fsm
+
+
+def test_unreachable_state_flagged():
+    m, fsm = _skeleton()
+    fsm.add_state("GHOST")
+    fsm.transition("GHOST", "B")  # leaves, but nothing enters
+    m.finalize()
+    findings = lint_module(m)
+    assert any(f.rule == "unreachable-state"
+               and "GHOST" in f.subject for f in findings)
+    assert errors_only(findings)
+
+
+def test_unloaded_counter_flagged():
+    m, fsm = _skeleton()
+    m.counter(down_counter("c", load_cond=Const(0), load_value=Sig("start")))
+    m.finalize()
+    findings = lint_module(m)
+    assert any(f.rule == "unloaded-counter" for f in findings)
+
+
+def test_wait_not_loaded_on_entry_flagged():
+    m = Module("bad2")
+    start = m.port("start", 1)
+    fsm = Fsm("f", initial="A")
+    fsm.transition("A", "W", cond=start)
+    fsm.transition("W", "B")
+    fsm.wait_state("W", "c")
+    m.fsm(fsm)
+    # Load condition references the port, not the entry arc.
+    m.counter(down_counter("c", load_cond=start, load_value=Const(9)))
+    m.set_done(Sig("f__state") == fsm.code_of("B"))
+    m.finalize()
+    findings = lint_module(m)
+    assert any(f.rule == "wait-not-loaded-on-entry" for f in findings)
+
+
+def test_unused_wire_flagged():
+    m, fsm = _skeleton()
+    m.wire("orphan", Sig("start") + 1)
+    m.finalize()
+    findings = lint_module(m)
+    assert any(f.rule == "unused-wire" and f.subject == "orphan"
+               for f in findings)
+
+
+def test_update_on_wait_state_flagged():
+    m = Module("bad3")
+    start = m.port("start", 1)
+    fsm = Fsm("f", initial="A")
+    fsm.transition("A", "W", cond=start)
+    fsm.transition("W", "B")
+    fsm.wait_state("W", "c")
+    m.fsm(fsm)
+    m.counter(down_counter(
+        "c", load_cond=fsm.arc_signal("A", "W"), load_value=Const(5)))
+    m.reg("x", 8)
+    m.update("x", Sig("x") + 1, fsm="f", state="W")
+    m.set_done(Sig("f__state") == fsm.code_of("B"))
+    m.finalize()
+    findings = lint_module(m)
+    assert any(f.rule == "update-on-wait-state" for f in findings)
+
+
+def test_finding_str():
+    m, fsm = _skeleton()
+    m.wire("orphan", Sig("start"))
+    m.finalize()
+    finding = [f for f in lint_module(m) if f.rule == "unused-wire"][0]
+    assert "unused-wire" in str(finding) and "orphan" in str(finding)

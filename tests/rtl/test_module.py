@@ -1,0 +1,174 @@
+"""Module construction and validation tests."""
+
+import pytest
+
+from repro.rtl import (
+    DatapathBlock,
+    Fsm,
+    Module,
+    Sig,
+    down_counter,
+    up_counter,
+)
+from repro.rtl.counter import Counter
+
+
+def minimal_module():
+    m = Module("t")
+    m.port("start", 1)
+    fsm = Fsm("f", initial="A")
+    fsm.transition("A", "B", cond=Sig("start"))
+    m.fsm(fsm)
+    m.set_done(Sig("f__state") == fsm.code_of("B"))
+    return m
+
+
+def test_finalize_requires_done():
+    m = Module("t")
+    m.port("x")
+    with pytest.raises(ValueError, match="done"):
+        m.finalize()
+
+
+def test_duplicate_signal_name_rejected():
+    m = Module("t")
+    m.port("x")
+    with pytest.raises(ValueError, match="already used"):
+        m.wire("x", Sig("x") + 1)
+    with pytest.raises(ValueError, match="already used"):
+        m.reg("x")
+
+
+def test_fsm_state_signal_claims_namespace():
+    m = Module("t")
+    m.fsm(Fsm("f", initial="A"))
+    with pytest.raises(ValueError, match="already used"):
+        m.port("f__state")
+
+
+def test_unknown_signal_reference_rejected():
+    m = minimal_module()
+    m.wire("bad", Sig("ghost") + 1)
+    with pytest.raises(ValueError, match="ghost"):
+        m.finalize()
+
+
+def test_update_to_unknown_register_rejected():
+    m = minimal_module()
+    m.update("ghost", 1)
+    with pytest.raises(ValueError, match="ghost"):
+        m.finalize()
+
+
+def test_combinational_cycle_rejected():
+    m = minimal_module()
+    m.wire("a", Sig("b") + 1)
+    m.wire("b", Sig("a") + 1)
+    with pytest.raises(ValueError, match="cycle"):
+        m.finalize()
+
+
+def test_wire_topological_order():
+    m = minimal_module()
+    m.wire("c", Sig("b") + 1)
+    m.wire("b", Sig("a") + 1)
+    m.wire("a", Sig("start") + 0)
+    m.finalize()
+    order = m.wire_order
+    assert order.index("a") < order.index("b") < order.index("c")
+
+
+def test_wait_state_needs_down_counter():
+    m = Module("t")
+    m.port("start", 1)
+    fsm = Fsm("f", initial="A")
+    fsm.transition("A", "W", cond=Sig("start"))
+    fsm.transition("W", "B")
+    fsm.wait_state("W", "cnt")
+    m.fsm(fsm)
+    m.counter(up_counter("cnt", reset_cond=Sig("start")))
+    m.set_done(Sig("f__state") == fsm.code_of("B"))
+    with pytest.raises(ValueError, match="down counter"):
+        m.finalize()
+
+
+def test_wait_state_unknown_counter_rejected():
+    m = Module("t")
+    m.port("start", 1)
+    fsm = Fsm("f", initial="A")
+    fsm.transition("A", "W", cond=Sig("start"))
+    fsm.wait_state("W", "missing")
+    m.fsm(fsm)
+    m.set_done(Sig("f__state") == fsm.code_of("W"))
+    with pytest.raises(ValueError, match="missing"):
+        m.finalize()
+
+
+def test_default_arc_must_be_last():
+    fsm = Fsm("f", initial="A")
+    fsm.transition("A", "B")          # default
+    fsm.transition("A", "C", cond=Sig("x"))
+    with pytest.raises(ValueError, match="default arc"):
+        fsm.validate()
+
+
+def test_multiple_default_arcs_rejected():
+    fsm = Fsm("f", initial="A")
+    fsm.transition("A", "B")
+    fsm.transition("A", "C")
+    with pytest.raises(ValueError, match="multiple default"):
+        fsm.validate()
+
+
+def test_finalized_module_rejects_additions():
+    m = minimal_module()
+    m.finalize()
+    with pytest.raises(RuntimeError, match="finalized"):
+        m.port("late")
+
+
+def test_arc_signal_lookup():
+    fsm = Fsm("f", initial="A")
+    fsm.transition("A", "B", cond=Sig("x"))
+    assert fsm.arc_signal("A", "B").name == "f__t0__A__B"
+    with pytest.raises(KeyError):
+        fsm.arc_signal("B", "A")
+
+
+def test_entry_signal_combines_arcs():
+    fsm = Fsm("f", initial="A")
+    fsm.transition("A", "C", cond=Sig("x"))
+    fsm.transition("B", "C")
+    expr = fsm.entry_signal("C")
+    assert expr.signals() == {"f__t0__A__C", "f__t1__B__C"}
+
+
+def test_counter_validation():
+    with pytest.raises(ValueError, match="load_value"):
+        Counter("c", mode="down", load_cond=Sig("x"))
+    with pytest.raises(ValueError, match="mode"):
+        Counter("c", mode="sideways")
+    with pytest.raises(ValueError, match="step"):
+        down_counter("c", load_cond=Sig("x"), load_value=Sig("y"), step=0)
+
+
+def test_datapath_block_validation():
+    m = minimal_module()
+    m.datapath(DatapathBlock("dp", cells={"MUL": 2}, inputs=("ghost",)))
+    with pytest.raises(ValueError, match="ghost"):
+        m.finalize()
+
+
+def test_datapath_unknown_state_rejected():
+    m = minimal_module()
+    m.datapath(DatapathBlock(
+        "dp", cells={"MUL": 2}, active_states=(("f", "NOPE"),),
+    ))
+    with pytest.raises(ValueError, match="NOPE"):
+        m.finalize()
+
+
+def test_transition_wires_generated_on_finalize():
+    m = minimal_module()
+    m.finalize()
+    assert "f__t0__A__B" in m.wires

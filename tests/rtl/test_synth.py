@@ -1,0 +1,168 @@
+"""Synthesis and netlist tests."""
+
+import pytest
+
+from repro.rtl import Module, Netlist, Sig, synthesize
+from repro.rtl.netlist import Provenance
+from repro.rtl.tech import (
+    FpgaResources,
+    asic_area,
+    asic_cell_area,
+    asic_leakage_power,
+    asic_switch_energy_per_cycle,
+    fpga_cell_resources,
+    fpga_leakage_power,
+    fpga_resources,
+    fpga_switch_energy_per_cycle,
+)
+from tests.conftest import build_toy
+
+
+@pytest.fixture(scope="module")
+def toy_netlist() -> Netlist:
+    return synthesize(build_toy())
+
+
+def test_synthesize_requires_finalized():
+    m = Module("raw")
+    with pytest.raises(ValueError, match="finalized"):
+        synthesize(m)
+
+
+def test_every_state_element_has_a_dff(toy_netlist):
+    dff_outs = {c.out for c in toy_netlist.cells_of_kind("DFF")}
+    assert {"idx", "c_a", "c_b", "items_done", "ctrl__state"} <= dff_outs
+
+
+def test_ports_and_memories_present(toy_netlist):
+    assert toy_netlist.driver("n_items").kind == "PORT"
+    sram = toy_netlist.driver("__mem__items")
+    assert sram.kind == "SRAM"
+    assert sram.param == 256 * 16
+
+
+def test_nets_single_driver(toy_netlist):
+    outs = [c.out for c in toy_netlist]
+    assert len(outs) == len(set(outs))
+
+
+def test_transition_wires_have_arc_provenance(toy_netlist):
+    arc_cells = toy_netlist.cells_of("fsm_arc")
+    roles = {c.provenance.role for c in arc_cells}
+    assert "IDLE->FETCH" in roles
+    assert any(c.out == "ctrl__t0__IDLE__FETCH" for c in arc_cells)
+
+
+def test_counter_pattern_shape(toy_netlist):
+    """Down counter lowering: DFF <- MUX(load, val, MUX(tick, SUB, hold))."""
+    dff = toy_netlist.driver("c_a")
+    load_mux = toy_netlist.driver(dff.fanin[0])
+    assert load_mux.kind == "MUX"
+    tick_mux = toy_netlist.driver(load_mux.fanin[2])
+    assert tick_mux.kind == "MUX"
+    sub = toy_netlist.driver(tick_mux.fanin[1])
+    assert sub.kind == "SUB"
+    assert sub.fanin[0] == "c_a"
+    assert tick_mux.fanin[2] == "c_a"  # hold path
+
+
+def test_fsm_pattern_shape(toy_netlist):
+    """State DFF is fed by a mux chain ending in the hold path."""
+    dff = toy_netlist.driver("ctrl__state")
+    net = dff.fanin[0]
+    depth = 0
+    while True:
+        cell = toy_netlist.driver(net)
+        if cell.kind != "MUX":
+            break
+        depth += 1
+        assert cell.fanin[1].startswith("__const_")
+        net = cell.fanin[2]
+    assert net == "ctrl__state"
+    assert depth == 7  # one mux per transition
+
+
+def test_done_net_exists(toy_netlist):
+    assert toy_netlist.driver("__done") is not None
+
+
+def test_datapath_cells_priced(toy_netlist):
+    dp = toy_netlist.cells_of("datapath", "alu_b")
+    muls = [c for c in dp if c.kind == "MUL"]
+    assert muls and muls[0].count == 12
+
+
+def test_fanin_closure_excludes_datapath(toy_netlist):
+    """The cone of the done signal never touches datapath sinks."""
+    ids = toy_netlist.fanin_closure(["__done"])
+    kinds = {toy_netlist.cells[i].provenance.construct for i in ids}
+    assert "datapath" not in kinds
+
+
+def test_fanin_closure_reaches_memory_through_wires(toy_netlist):
+    ids = toy_netlist.fanin_closure(["c_a"])
+    constructs = {
+        (toy_netlist.cells[i].provenance.construct,
+         toy_netlist.cells[i].provenance.name)
+        for i in ids
+    }
+    assert ("memory", "items") in constructs
+    assert ("port", "n_items") in constructs
+
+
+def test_comb_cone_stops_at_state(toy_netlist):
+    dff = toy_netlist.driver("ctrl__state")
+    cone = toy_netlist.comb_cone(dff.fanin[0])
+    # The cone includes the state DFF itself as a stopping frontier cell
+    # but nothing behind other DFFs' inputs.
+    kinds = {c.kind for c in cone}
+    assert "MUX" in kinds
+
+
+def test_asic_area_positive_and_dominated_by_datapath(toy_netlist):
+    total = asic_area(toy_netlist)
+    assert total > 0
+    dp_area = sum(
+        asic_cell_area(c) for c in toy_netlist.cells_of("datapath")
+    )
+    assert dp_area / total > 0.5  # datapath dominates, like real accelerators
+
+
+def test_asic_energy_and_leakage_positive(toy_netlist):
+    for cell in toy_netlist:
+        assert asic_switch_energy_per_cycle(cell) >= 0
+    assert asic_leakage_power(asic_area(toy_netlist)) > 0
+
+
+def test_fpga_resources(toy_netlist):
+    res = fpga_resources(toy_netlist)
+    assert res.luts > 0 and res.ffs > 0
+    assert res.dsps >= 16  # datapath multipliers map to DSPs
+    assert res.brams >= 1
+    assert fpga_switch_energy_per_cycle(res) > 0
+    assert fpga_leakage_power(res) > 0
+
+
+def test_fpga_fraction_metric():
+    total = FpgaResources(luts=100, ffs=50, dsps=10, brams=2)
+    part = FpgaResources(luts=10, ffs=5, dsps=1, brams=0)
+    # (10/100 + 1/10 + 0/2) / 3
+    assert abs(part.fraction_of(total) - (0.1 + 0.1 + 0.0) / 3) < 1e-12
+
+
+def test_netlist_rejects_double_drive():
+    nl = Netlist("x")
+    nl.add("PORT", (), out="a")
+    with pytest.raises(ValueError, match="already driven"):
+        nl.add("PORT", (), out="a")
+
+
+def test_netlist_rejects_unknown_kind():
+    nl = Netlist("x")
+    with pytest.raises(ValueError, match="unknown cell kind"):
+        nl.add("FROB", ())
+
+
+def test_stats_weighted_by_count(toy_netlist):
+    stats = toy_netlist.stats()
+    assert stats["MUL"] >= 16  # 4 + 12 datapath multipliers

@@ -1,0 +1,84 @@
+"""VCD waveform export tests."""
+
+import io
+import re
+
+import pytest
+
+from repro.rtl import Module, Simulation
+from repro.rtl.wave import VcdWriter, _id_for
+from tests.conftest import build_toy, pack_item
+
+
+def dump_toy(items, signals=None, fast_forward=True):
+    module = build_toy()
+    stream = io.StringIO()
+    writer = VcdWriter(module, stream, signals=signals)
+    sim = Simulation(module, listener=writer, fast_forward=fast_forward)
+    sim.load(inputs={"n_items": len(items)}, memories={"items": items})
+    result = sim.run()
+    writer.finish(sim.cycle)
+    return stream.getvalue(), result
+
+
+def test_id_allocation_unique():
+    ids = [_id_for(i) for i in range(500)]
+    assert len(set(ids)) == 500
+    assert all(" " not in i for i in ids)
+
+
+def test_header_and_vars():
+    text, _ = dump_toy([pack_item(3, 0)])
+    assert "$timescale 1 ns $end" in text
+    assert "$scope module toy $end" in text
+    assert re.search(r"\$var wire 16 \S+ c_a \$end", text)
+    assert re.search(r"\$var wire 16 \S+ ctrl__state \$end", text)
+    assert "$enddefinitions $end" in text
+    assert "$dumpvars" in text
+
+
+def test_timestamps_monotonic():
+    text, result = dump_toy([pack_item(20, 1), pack_item(5, 0)])
+    stamps = [int(m) for m in re.findall(r"^#(\d+)$", text, re.M)]
+    assert stamps == sorted(stamps)
+    assert stamps[-1] == result.cycles
+
+
+def test_signal_filter():
+    text, _ = dump_toy([pack_item(3, 0)], signals=["c_a"])
+    assert " c_a $end" in text
+    assert "items_done" not in text
+    with pytest.raises(KeyError, match="not architectural"):
+        dump_toy([pack_item(3, 0)], signals=["ghost"])
+
+
+def test_only_changes_are_dumped():
+    """After the initial dump, each timestamp carries only changed
+    signals — counters parked at zero do not repeat."""
+    text, _ = dump_toy([pack_item(4, 0)])
+    body = text.split("$end\n")[-1]
+    # c_b never loads for a mode-0 item: its id appears at most once
+    # after the initial dump.
+    cb_id = re.search(r"\$var wire 16 (\S+) c_b \$end", text).group(1)
+    assert body.count(f" {cb_id}\n") == 0
+
+
+def test_fast_forward_and_stepped_dumps_agree_at_common_instants():
+    items = [pack_item(9, 1)]
+    fast, _ = dump_toy(items, fast_forward=True)
+    slow, _ = dump_toy(items, fast_forward=False)
+
+    def final_values(text):
+        values = {}
+        for line in text.splitlines():
+            m = re.match(r"b([01]+) (\S+)$", line)
+            if m:
+                values[m.group(2)] = m.group(1)
+        return values
+
+    assert final_values(fast) == final_values(slow)
+
+
+def test_writer_requires_finalized():
+    with pytest.raises(ValueError, match="finalized"):
+        VcdWriter(Module("raw"), io.StringIO())

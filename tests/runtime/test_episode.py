@@ -1,0 +1,125 @@
+"""Episode-runner tests: periodic releases, carry-over, aggregation."""
+
+import pytest
+
+from repro.dvfs import (
+    ASIC_VOLTAGES,
+    AsicVfModel,
+    Controller,
+    JobActivity,
+    OracleController,
+    Plan,
+    build_level_table,
+)
+from repro.runtime import (
+    JobRecord,
+    Task,
+    average_summaries,
+    format_table,
+    run_episode,
+    summarize,
+)
+from repro.units import MHZ, MS
+
+
+class FlatEnergyModel:
+    v_nominal = 1.0
+
+    def job_energy(self, activity, point, duration):
+        return activity.cycles * 1e-9 * point.voltage ** 2 + 1e-3 * duration
+
+
+class FixedController(Controller):
+    """Always picks a given point; exposes the budgets it was given."""
+
+    def __init__(self, levels, point):
+        super().__init__("fixed", levels, t_switch=0.0)
+        self.point = point
+        self.budgets = []
+
+    def plan(self, job, budget):
+        self.budgets.append(budget)
+        return Plan(point=self.point)
+
+
+@pytest.fixture(scope="module")
+def levels():
+    return build_level_table(AsicVfModel.characterize(100 * MHZ),
+                             ASIC_VOLTAGES)
+
+
+def job(index, cycles):
+    return JobRecord(index=index, actual_cycles=cycles,
+                     activity=JobActivity(cycles=cycles))
+
+
+TASK = Task("t", deadline=10 * MS)
+
+
+def test_job_record_validation():
+    with pytest.raises(ValueError, match="at least one cycle"):
+        job(0, 0)
+    with pytest.raises(ValueError, match="negative"):
+        JobRecord(index=0, actual_cycles=1,
+                  activity=JobActivity(cycles=1), slice_cycles=-1)
+    with pytest.raises(ValueError, match="deadline"):
+        Task("t", deadline=0.0)
+
+
+def test_periodic_release_full_budget_when_on_time(levels):
+    ctrl = FixedController(levels, levels.nominal)
+    small = int(levels.nominal.frequency * 1 * MS)  # 1ms jobs
+    run_episode(ctrl, [job(i, small) for i in range(4)], TASK,
+                FlatEnergyModel())
+    assert ctrl.budgets == pytest.approx([10 * MS] * 4)
+
+
+def test_overrun_squeezes_next_budget(levels):
+    """A job that overruns its period shrinks the next job's budget —
+    the carry-over that makes under-prediction expensive."""
+    slowest = levels.slowest
+    ctrl = FixedController(levels, slowest)
+    # 9ms at nominal => ~27ms at the slowest level: overruns by ~17ms.
+    big = int(levels.nominal.frequency * 9 * MS)
+    tiny = int(levels.nominal.frequency * 0.1 * MS)
+    result = run_episode(ctrl, [job(0, big), job(1, tiny)], TASK,
+                         FlatEnergyModel())
+    assert result.outcomes[0].missed
+    assert ctrl.budgets[0] == 10 * MS
+    assert ctrl.budgets[1] < 5 * MS  # squeezed by the overrun
+
+
+def test_overrun_recovery_restores_budget(levels):
+    ctrl = FixedController(levels, levels.nominal)
+    over = int(levels.nominal.frequency * 12 * MS)   # misses by 2ms
+    small = int(levels.nominal.frequency * 1 * MS)
+    run_episode(ctrl, [job(0, over), job(1, small), job(2, small)],
+                TASK, FlatEnergyModel())
+    assert ctrl.budgets[1] == pytest.approx(8 * MS)   # 2ms late start
+    assert ctrl.budgets[2] == pytest.approx(10 * MS)  # recovered
+
+
+def test_oracle_with_carryover_still_never_misses(levels):
+    ctrl = OracleController(levels)
+    jobs = [job(i, int(levels.nominal.frequency * (2 + 3 * (i % 3)) * MS))
+            for i in range(12)]
+    result = run_episode(ctrl, jobs, TASK, FlatEnergyModel())
+    assert result.miss_count == 0
+
+
+def test_summaries_and_formatting(levels):
+    from repro.dvfs import ConstantFrequencyController
+    jobs = [job(i, 100_000 + 50_000 * i) for i in range(6)]
+    base = run_episode(ConstantFrequencyController(levels), jobs, TASK,
+                       FlatEnergyModel())
+    oracle = run_episode(OracleController(levels), jobs, TASK,
+                         FlatEnergyModel())
+    s1 = summarize("bench1", oracle, base)
+    s2 = summarize("bench2", oracle, base)
+    assert s1.energy_savings_pct > 0
+    avg = average_summaries([s1, s2], "oracle")
+    assert avg.benchmark == "average"
+    text = format_table([s1, s2, avg])
+    assert "bench1" in text and "oracle:energy%" in text
+    with pytest.raises(ValueError, match="no summaries"):
+        average_summaries([s1], "nope")

@@ -1,0 +1,114 @@
+"""Mini-C IR, program slicing and HLS scheduling tests."""
+
+import pytest
+
+from repro.rtl.expr import Const, Sig
+from repro.slicing.hls import (
+    ELEM,
+    HlsSchedule,
+    HlsSlicePredictor,
+    Program,
+    Statement,
+    program_slice,
+)
+
+
+def sample_program():
+    return Program(
+        name="p",
+        params=("n",),
+        arrays=("data",),
+        statements=(
+            Statement("a", Sig("n") * 3),
+            Statement("b", Sig("a") + 7),
+            Statement("total", Sig(ELEM) * 2 + 1, array="data"),
+            Statement("unused", Sig("n") - 1),
+            Statement("combo", Sig("b") + Sig("total")),
+        ),
+    )
+
+
+def test_program_rejects_undefined_reads():
+    with pytest.raises(ValueError, match="undefined"):
+        Program("p", params=(), arrays=(),
+                statements=(Statement("x", Sig("ghost")),))
+
+
+def test_program_rejects_double_assignment():
+    with pytest.raises(ValueError, match="twice"):
+        Program("p", params=("n",), arrays=(),
+                statements=(Statement("x", Sig("n")),
+                            Statement("x", Sig("n"))))
+
+
+def test_evaluate_scalars_and_reductions():
+    env = sample_program().evaluate({"n": 5}, {"data": [1, 2, 3]})
+    assert env["a"] == 15
+    assert env["b"] == 22
+    assert env["total"] == (2 * 1 + 1) + (2 * 2 + 1) + (2 * 3 + 1)
+    assert env["combo"] == env["b"] + env["total"]
+
+
+def test_evaluate_empty_array():
+    env = sample_program().evaluate({"n": 1}, {"data": []})
+    assert env["total"] == 0
+
+
+def test_program_slice_keeps_dependencies_only():
+    sliced = program_slice(sample_program(), ["combo"])
+    targets = [s.target for s in sliced.statements]
+    assert "unused" not in targets
+    assert set(targets) == {"a", "b", "total", "combo"}
+    # Slicing to a leaf keeps just that chain.
+    tiny = program_slice(sample_program(), ["a"])
+    assert [s.target for s in tiny.statements] == ["a"]
+    assert tiny.arrays == ()  # array input no longer needed
+
+
+def test_program_slice_unknown_criterion():
+    with pytest.raises(KeyError, match="not produced"):
+        program_slice(sample_program(), ["ghost"])
+
+
+def test_slice_evaluates_identically():
+    program = sample_program()
+    sliced = program_slice(program, ["combo"])
+    full = program.evaluate({"n": 9}, {"data": [4, 4]})
+    part = sliced.evaluate({"n": 9}, {"data": [4, 4]})
+    assert part["combo"] == full["combo"]
+
+
+def test_schedule_cycles_scale_with_trip_count():
+    program = sample_program()
+    schedule = HlsSchedule(program, unroll=4)
+    small = schedule.cycles({"data": [0] * 8})
+    large = schedule.cycles({"data": [0] * 800})
+    assert large > small
+    assert large - small == pytest.approx((800 - 8) / 4, abs=2)
+
+
+def test_schedule_unroll_speeds_up():
+    program = sample_program()
+    narrow = HlsSchedule(program, unroll=1).cycles({"data": [0] * 400})
+    wide = HlsSchedule(program, unroll=8).cycles({"data": [0] * 400})
+    assert wide < narrow / 4
+
+
+def test_schedule_cells_unrolled():
+    program = sample_program()
+    c1 = HlsSchedule(program, unroll=1).cells()
+    c8 = HlsSchedule(program, unroll=8).cells()
+    assert c8["MUL"] > c1["MUL"]  # the reduction's ops replicate
+
+
+def test_hls_slice_predictor_end_to_end():
+    program = sample_program()
+    predictor = HlsSlicePredictor.build(
+        program, {"feat:total": "total", "feat:a": "a"}, unroll=2)
+    values, cycles = predictor.run({"n": 3}, {"data": [5, 5, 5]})
+    assert values["feat:total"] == 33
+    assert values["feat:a"] == 9
+    assert cycles > 0
+    # 'unused' and 'combo'/'b' are not in the sliced program.
+    targets = {s.target for s in predictor.program.statements}
+    assert targets == {"a", "total"}

@@ -1,0 +1,66 @@
+"""Workload characterization tests."""
+
+import pytest
+
+from repro.workloads import ALL_BENCHMARKS, workload_for
+from repro.workloads.characterize import (
+    characterize,
+    profile_table,
+    size_proxy,
+)
+
+
+def test_size_proxy_covers_every_item_type():
+    for name in ALL_BENCHMARKS:
+        items = workload_for(name, scale=0.1).test[:3]
+        for item in items:
+            assert size_proxy(item) > 0
+
+
+def test_size_proxy_rejects_unknown():
+    with pytest.raises(TypeError, match="no size proxy"):
+        size_proxy(object())
+
+
+def test_characterize_requires_two_jobs():
+    items = workload_for("aes", scale=0.1).test[:1]
+    with pytest.raises(ValueError, match="two jobs"):
+        characterize(items)
+
+
+def test_md_is_trackable_video_is_spiky():
+    """The paper's workload taxonomy, measured: md drifts slowly
+    (reactive control almost works); h264 carries scene-cut spikes."""
+    md = characterize(workload_for("md", scale=0.5).test)
+    h264 = characterize(workload_for("h264", scale=0.5).test)
+    assert md.lag1_autocorr > 0.85
+    assert h264.spike_rate > 0.0
+    assert md.lag1_autocorr > h264.lag1_autocorr
+
+
+def test_all_benchmarks_have_wide_spread():
+    """Table 4's premise: every benchmark varies a lot job to job."""
+    for name in ALL_BENCHMARKS:
+        profile = characterize(workload_for(name, scale=0.3).test)
+        assert profile.cv > 0.10, name
+
+
+def test_profile_table_renders():
+    profiles = {
+        name: characterize(workload_for(name, scale=0.15).test)
+        for name in ("md", "aes")
+    }
+    text = profile_table(profiles)
+    assert "md" in text and "aes" in text
+    assert "reactive?" in text
+
+
+def test_constant_series_edge_case():
+    from repro.workloads.datastream import DataPiece
+
+    items = [DataPiece(index=i, n_bytes=1000) for i in range(10)]
+    profile = characterize(items)
+    assert profile.cv == 0.0
+    assert profile.lag1_autocorr == 1.0
+    assert profile.spike_rate == 0.0
+    assert profile.reactive_friendly

@@ -1,0 +1,69 @@
+"""Workload serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.workloads import ALL_BENCHMARKS, workload_for
+from repro.workloads.trace_io import (
+    FORMAT_VERSION,
+    load_workload,
+    save_workload,
+)
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_round_trip_every_benchmark(name, tmp_path):
+    items = workload_for(name, scale=0.1).test[:5]
+    path = tmp_path / f"{name}.json"
+    save_workload(items, path)
+    reloaded = load_workload(path)
+    assert reloaded == list(items)
+
+
+def test_round_trip_preserves_job_encoding(tmp_path):
+    """The reloaded items encode to bit-identical jobs."""
+    from repro.accelerators import get_design
+
+    design = get_design("h264")
+    items = workload_for("h264", scale=0.1).test[:3]
+    path = tmp_path / "trace.json"
+    save_workload(items, path)
+    for original, reloaded in zip(items, load_workload(path)):
+        a = design.encode_job(original)
+        b = design.encode_job(reloaded)
+        assert a.inputs == b.inputs
+        assert {k: list(v) for k, v in a.memories.items()} == \
+            {k: list(v) for k, v in b.memories.items()}
+
+
+def test_rejects_unknown_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 999, "n_items": 0,
+                                "items": []}))
+    with pytest.raises(ValueError, match="version"):
+        load_workload(path)
+
+
+def test_rejects_unknown_kind(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({
+        "version": FORMAT_VERSION, "n_items": 1,
+        "items": [{"kind": "Alien", "data": {}}],
+    }))
+    with pytest.raises(ValueError, match="unknown workload item"):
+        load_workload(path)
+
+
+def test_rejects_inconsistent_count(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({
+        "version": FORMAT_VERSION, "n_items": 5, "items": [],
+    }))
+    with pytest.raises(ValueError, match="inconsistent"):
+        load_workload(path)
+
+
+def test_rejects_unserializable_items(tmp_path):
+    with pytest.raises(TypeError, match="cannot serialize"):
+        save_workload([object()], tmp_path / "x.json")
