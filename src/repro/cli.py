@@ -7,14 +7,22 @@ Commands:
 * ``experiment <id> [--scale S]`` — regenerate one table/figure;
 * ``verilog <benchmark> [-o FILE]`` — export a design as Verilog;
 * ``predict <benchmark> [--scale S] [--jobs N]`` — train a predictor
-  and show per-job predictions (the quickstart, from the shell).
+  and show per-job predictions (the quickstart, from the shell);
+* ``report <run-dir>`` — render a captured observability run; without
+  a run directory, run all experiments into a markdown report.
+
+``experiment``, ``predict`` and ``report`` accept ``--profile`` (print
+a stage-timing table) and ``--run-dir DIR`` (write ``manifest.json``
+plus ``events.jsonl`` with per-stage spans and per-job records).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from .accelerators import ALL_DESIGNS, get_design
 from .workloads import workload_for
@@ -41,6 +49,40 @@ EXPERIMENTS = {
     "multires": "ext_resolutions",
     "taxonomy": "ext_taxonomy",
 }
+
+
+@contextlib.contextmanager
+def _maybe_observe(args: argparse.Namespace, command: str) -> Iterator:
+    """Install an observability session when the flags ask for one.
+
+    Yields the live Observer (``--profile`` and/or ``--run-dir``) or
+    ``None`` (both absent — the zero-overhead path).
+    """
+    run_dir = getattr(args, "run_dir", None)
+    if not run_dir and not getattr(args, "profile", False):
+        yield None
+        return
+    from .obs import session
+
+    config = {
+        key: value for key, value in vars(args).items()
+        if key not in ("command",) and value is not None
+    }
+    if os.environ.get("REPRO_SCALE"):
+        config["REPRO_SCALE"] = os.environ["REPRO_SCALE"]
+    with session(run_dir=run_dir, command=command, config=config) as obs:
+        yield obs
+
+
+def _print_stage_timings(obs, run_dir: Optional[str]) -> None:
+    """The post-run stage-timing footer for profiled commands."""
+    from .obs.report import format_stage_table
+
+    print("\nstage timings:")
+    print(format_stage_table(obs.tracer.aggregate()))
+    if run_dir:
+        print(f"run artifacts: {run_dir} "
+              f"(render with: repro report {run_dir})")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -84,17 +126,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     exp_id = args.id
     if exp_id not in EXPERIMENTS:
-        print(f"unknown experiment {exp_id!r}; try: "
+        print(f"unknown experiment {exp_id!r}; valid ids: "
               f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
     module = importlib.import_module(
         f"repro.experiments.{EXPERIMENTS[exp_id]}")
     kwargs = {"tech": "fpga"} if exp_id == "fig17" else {}
-    result = module.run(scale=args.scale, **kwargs)
-    if exp_id == "fig17":
-        print(module.to_text(result, tech="fpga"))
-    else:
-        print(module.to_text(result))
+    with _maybe_observe(args, f"experiment {exp_id}") as obs:
+        result = module.run(scale=args.scale, **kwargs)
+        if exp_id == "fig17":
+            print(module.to_text(result, tech="fpga"))
+        else:
+            print(module.to_text(result))
+        if obs is not None:
+            _print_stage_timings(obs, args.run_dir)
     return 0
 
 
@@ -147,9 +192,21 @@ def _cmd_wave(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    """Run every registered experiment and write one markdown report."""
+    """Render a captured run directory, or (without one) run every
+    registered experiment and write one markdown report."""
     import importlib
     import time
+
+    if args.run:
+        from .obs.report import render_run
+        try:
+            print(render_run(args.run))
+        except (FileNotFoundError, NotADirectoryError):
+            print(f"no run manifest under {args.run!r} — expected "
+                  f"a directory written by --run-dir "
+                  f"(containing manifest.json)", file=sys.stderr)
+            return 2
+        return 0
 
     ids = args.only or [i for i in EXPERIMENTS if i != "fig19"]
     sections: List[str] = [
@@ -158,25 +215,28 @@ def _cmd_report(args: argparse.Namespace) -> int:
         "",
     ]
     t0 = time.time()
-    for exp_id in ids:
-        if exp_id not in EXPERIMENTS:
-            print(f"skipping unknown experiment {exp_id!r}",
-                  file=sys.stderr)
-            continue
-        module = importlib.import_module(
-            f"repro.experiments.{EXPERIMENTS[exp_id]}")
-        kwargs = {"tech": "fpga"} if exp_id == "fig17" else {}
-        result = module.run(scale=args.scale, **kwargs)
-        text = (module.to_text(result, tech="fpga") if exp_id == "fig17"
-                else module.to_text(result))
-        if exp_id == "fig11":
-            from .experiments.charts import fig11_chart
-            text += "\n\n" + fig11_chart(result)
-        elif exp_id == "fig15":
-            from .experiments.charts import fig15_chart
-            text += "\n\n" + fig15_chart(result)
-        sections.append(f"## {exp_id}\n\n```\n{text}\n```\n")
-        print(f"  {exp_id} done ({time.time() - t0:.0f}s elapsed)")
+    with _maybe_observe(args, "report") as obs:
+        for exp_id in ids:
+            if exp_id not in EXPERIMENTS:
+                print(f"skipping unknown experiment {exp_id!r}",
+                      file=sys.stderr)
+                continue
+            module = importlib.import_module(
+                f"repro.experiments.{EXPERIMENTS[exp_id]}")
+            kwargs = {"tech": "fpga"} if exp_id == "fig17" else {}
+            result = module.run(scale=args.scale, **kwargs)
+            text = (module.to_text(result, tech="fpga")
+                    if exp_id == "fig17" else module.to_text(result))
+            if exp_id == "fig11":
+                from .experiments.charts import fig11_chart
+                text += "\n\n" + fig11_chart(result)
+            elif exp_id == "fig15":
+                from .experiments.charts import fig15_chart
+                text += "\n\n" + fig15_chart(result)
+            sections.append(f"## {exp_id}\n\n```\n{text}\n```\n")
+            print(f"  {exp_id} done ({time.time() - t0:.0f}s elapsed)")
+        if obs is not None:
+            _print_stage_timings(obs, args.run_dir)
     report = "\n".join(sections)
     with open(args.output, "w") as handle:
         handle.write(report)
@@ -191,7 +251,10 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     design = get_design(args.benchmark)
     workload = workload_for(design.name, scale=args.scale)
     print(f"training on {len(workload.train)} jobs ...")
-    package = generate_predictor(design, workload.train)
+    with _maybe_observe(args, f"predict {args.benchmark}") as obs:
+        package = generate_predictor(design, workload.train)
+        if obs is not None:
+            _print_stage_timings(obs, args.run_dir)
     print(f"{package.n_candidate_features} candidate features -> "
           f"{package.n_selected_features} selected; slice area "
           f"{package.slice_cost.area_fraction * 100:.1f}%")
@@ -221,6 +284,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    obs_opts = argparse.ArgumentParser(add_help=False)
+    obs_opts.add_argument(
+        "--profile", action="store_true",
+        help="collect spans/metrics and print a stage-timing table")
+    obs_opts.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="write manifest.json + events.jsonl run artifacts to DIR")
+
     sub.add_parser("list", help="list benchmarks and experiments")
 
     p = sub.add_parser("describe", help="structural analysis of a design")
@@ -228,7 +299,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=5,
                    help="sample N jobs for timing stats (0 to skip)")
 
-    p = sub.add_parser("experiment", help="regenerate a table/figure")
+    p = sub.add_parser("experiment", help="regenerate a table/figure",
+                       parents=[obs_opts])
     p.add_argument("id", help=f"one of: {', '.join(EXPERIMENTS)}")
     p.add_argument("--scale", type=float, default=None,
                    help="workload scale (default: REPRO_SCALE or 1.0)")
@@ -237,7 +309,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("benchmark", choices=ALL_DESIGNS)
     p.add_argument("-o", "--output", default=None)
 
-    p = sub.add_parser("predict", help="train and demo a predictor")
+    p = sub.add_parser("predict", help="train and demo a predictor",
+                       parents=[obs_opts])
     p.add_argument("benchmark", choices=ALL_DESIGNS)
     p.add_argument("--scale", type=float, default=0.15)
     p.add_argument("--jobs", type=int, default=8)
@@ -250,8 +323,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="job.vcd")
     p.add_argument("--job", type=int, default=0)
 
-    p = sub.add_parser("report",
-                       help="run experiments and write a markdown report")
+    p = sub.add_parser(
+        "report", parents=[obs_opts],
+        help="render a captured run dir, or run experiments into "
+             "a markdown report")
+    p.add_argument("run", nargs="?", default=None,
+                   help="a --run-dir directory to render (omit to "
+                        "regenerate the full markdown report)")
     p.add_argument("-o", "--output", default="reproduction_report.md")
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--only", nargs="*", default=None,

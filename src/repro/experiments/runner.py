@@ -44,6 +44,7 @@ from ..flow import (
     build_job_records,
     generate_predictor,
 )
+from ..obs import span
 from ..runtime import EpisodeResult, JobRecord, Task, run_episode
 from ..workloads import BenchmarkWorkload, workload_for
 from .setup import ExperimentConfig, default_config
@@ -75,13 +76,19 @@ def bundle_for(name: str, scale: Optional[float] = None,
         scale = default_config().scale
     key = (name, scale)
     if key not in _BUNDLES:
-        design = get_design(name)
-        workload = workload_for(name, scale=scale)
-        package = generate_predictor(design, workload.train, flow_config)
-        test_records = build_job_records(design, package, workload.test)
-        train_coarse = [
-            design.encode_job(item).coarse_param for item in workload.train
-        ]
+        with span("bundle", benchmark=name, scale=scale):
+            design = get_design(name)
+            workload = workload_for(name, scale=scale)
+            package = generate_predictor(design, workload.train,
+                                         flow_config)
+            with span("test_records", benchmark=name,
+                      jobs=len(workload.test)):
+                test_records = build_job_records(design, package,
+                                                 workload.test)
+            train_coarse = [
+                design.encode_job(item).coarse_param
+                for item in workload.train
+            ]
         _BUNDLES[key] = BenchmarkBundle(
             design=design,
             workload=workload,
@@ -195,11 +202,14 @@ def run_scheme(ctx: TechContext, scheme: str,
                deadline: Optional[float] = None) -> EpisodeResult:
     """Run one controller over the bundle's test jobs."""
     controller = make_controller(ctx, scheme)
-    return run_episode(
-        controller,
-        ctx.bundle.test_records,
-        ctx.task(deadline),
-        ctx.energy_model,
-        slice_energy_model=ctx.slice_energy_model,
-        t_switch=ctx.config.t_switch,
-    )
+    # fig18 passes a duck-typed records-only context without name/tech.
+    with span("episode", benchmark=getattr(ctx, "name", "?"),
+              scheme=scheme, tech=getattr(ctx, "tech", "?")):
+        return run_episode(
+            controller,
+            ctx.bundle.test_records,
+            ctx.task(deadline),
+            ctx.energy_model,
+            slice_energy_model=ctx.slice_energy_model,
+            t_switch=ctx.config.t_switch,
+        )

@@ -36,6 +36,7 @@ from ..model import (
     fit_predictor,
     select_gamma,
 )
+from ..obs import get_observer, span
 from ..rtl.compiled import compile_module
 from ..rtl.lint import errors_only, lint_module
 from ..rtl.module import Module
@@ -117,33 +118,67 @@ def generate_predictor(design: AcceleratorDesign,
                        train_items: Sequence,
                        config: FlowConfig = FlowConfig()
                        ) -> GeneratedPredictor:
-    """Run the full offline flow for one accelerator design."""
-    module = design.build()
-    if config.lint:
-        errors = errors_only(lint_module(module))
-        if errors:
-            raise ValueError(
-                f"design {design.name} has lint errors: "
-                + "; ".join(str(e) for e in errors)
-            )
-    netlist = synthesize(module)
-    feature_set = discover_features(module, netlist)
-    compiled = compile_module(module)
-    jobs = [design.encode_job(item).as_pair() for item in train_items]
-    matrix = record_jobs(compiled, feature_set, jobs)
+    """Run the full offline flow for one accelerator design.
 
-    if config.gamma is None:
-        gamma, _ = select_gamma(matrix, alpha=config.alpha,
-                                accuracy_slack=config.auto_gamma_slack)
-    else:
-        gamma = config.gamma
-    model = fit_predictor(matrix, config.training_config(gamma))
+    Each stage runs inside a named observability span (``synthesize``,
+    ``detect``, ``record``, ``fit``, ``slice``) so a profiled run
+    shows where flow time goes per design; feature counts and the
+    selected gamma land in the metrics registry.  With observability
+    disabled the spans are shared no-ops.
+    """
+    with span("flow", design=design.name):
+        module = design.build()
+        if config.lint:
+            errors = errors_only(lint_module(module))
+            if errors:
+                raise ValueError(
+                    f"design {design.name} has lint errors: "
+                    + "; ".join(str(e) for e in errors)
+                )
+        with span("synthesize", design=design.name):
+            netlist = synthesize(module)
+        with span("detect", design=design.name):
+            feature_set = discover_features(module, netlist)
+            compiled = compile_module(module)
+        with span("record", design=design.name, jobs=len(train_items)):
+            jobs = [design.encode_job(item).as_pair()
+                    for item in train_items]
+            matrix = record_jobs(compiled, feature_set, jobs)
 
-    selected_specs = [
-        feature_set.specs[i] for i in model.predictor.selected_indices
-    ]
-    hw_slice = build_slice(module, selected_specs)
-    cost = compute_slice_cost(netlist, hw_slice.netlist)
+        with span("fit", design=design.name):
+            if config.gamma is None:
+                gamma, _ = select_gamma(
+                    matrix, alpha=config.alpha,
+                    accuracy_slack=config.auto_gamma_slack)
+            else:
+                gamma = config.gamma
+            model = fit_predictor(matrix, config.training_config(gamma))
+
+        with span("slice", design=design.name):
+            selected_specs = [
+                feature_set.specs[i]
+                for i in model.predictor.selected_indices
+            ]
+            hw_slice = build_slice(module, selected_specs)
+            cost = compute_slice_cost(netlist, hw_slice.netlist)
+            compiled_slice = compile_module(hw_slice.module)
+
+    observer = get_observer()
+    if observer is not None:
+        observer.metrics.inc("flow.designs")
+        observer.metrics.inc("flow.features.candidate", len(feature_set))
+        observer.metrics.inc("flow.features.selected",
+                             model.predictor.n_terms)
+        observer.metrics.set_gauge(f"flow.gamma.{design.name}", gamma)
+        observer.emit(
+            "flow",
+            design=design.name,
+            n_candidate_features=len(feature_set),
+            n_selected_features=model.predictor.n_terms,
+            gamma=gamma,
+            slice_area_fraction=cost.area_fraction,
+            n_train_jobs=len(train_items),
+        )
     return GeneratedPredictor(
         design_name=design.name,
         module=module,
@@ -155,5 +190,5 @@ def generate_predictor(design: AcceleratorDesign,
         train_matrix=matrix,
         gamma=gamma,
         compiled_module=compiled,
-        compiled_slice=compile_module(hw_slice.module),
+        compiled_slice=compiled_slice,
     )

@@ -1,0 +1,38 @@
+"""Observability: spans, metrics, and structured run artifacts.
+
+The package has four layers, importable à la carte:
+
+* :mod:`~repro.obs.tracer` — nested wall-clock spans with labels and a
+  zero-allocation no-op mode;
+* :mod:`~repro.obs.metrics` — counters, gauges, and streaming
+  (log-bucketed) histograms for p50/p95/p99 without sample storage;
+* :mod:`~repro.obs.events` — a JSONL event sink and reader;
+* :mod:`~repro.obs.runctx` — the ambient :class:`Observer` installed
+  by :func:`session`, plus the run-manifest writer.
+
+Instrumented code uses two entry points only: ``with span("fit",
+design=...):`` for timings and ``obs = get_observer()`` (``None`` when
+disabled) for events/metrics — so the disabled hot path costs one
+global read.  ``repro.obs.report`` (imported lazily by the CLI)
+renders captured runs.
+"""
+
+from .events import EventSink, read_events
+from .metrics import MetricsRegistry, StreamingHistogram
+from .runctx import (
+    EVENTS_NAME,
+    MANIFEST_NAME,
+    Observer,
+    get_observer,
+    git_revision,
+    session,
+    span,
+)
+from .tracer import NULL_SPAN, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "EVENTS_NAME", "EventSink", "MANIFEST_NAME", "MetricsRegistry",
+    "NULL_SPAN", "NullTracer", "Observer", "SpanRecord",
+    "StreamingHistogram", "Tracer", "get_observer", "git_revision",
+    "read_events", "session", "span",
+]

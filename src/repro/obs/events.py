@@ -1,0 +1,72 @@
+"""Structured event stream: JSONL writer/reader for run artifacts.
+
+Every instrumented layer emits flat dict events (``type`` plus
+free-form fields); the sink appends them as one JSON object per line
+to ``events.jsonl`` under the run directory.  JSONL keeps the file
+appendable under crashes (every completed line parses) and trivially
+greppable/``jq``-able — the format the ROADMAP's later regression
+gating will diff.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Union
+
+
+class EventSink:
+    """Writes timestamped events to a JSONL file.
+
+    Each sink owns its file: by default it truncates on open, so
+    reusing a ``--run-dir`` replaces the previous run's events instead
+    of silently mixing two runs (pass ``mode="a"`` to append).  The
+    sink buffers through the underlying file object and flushes on
+    :meth:`close` (and on context-manager exit); ``emit`` never raises
+    on a closed sink — late events after shutdown are dropped rather
+    than crashing the instrumented caller.
+    """
+
+    def __init__(self, path: Union[str, Path], mode: str = "w"):
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = open(self.path, mode)
+        self.n_events = 0
+
+    def emit(self, event: Dict[str, object]) -> None:
+        """Append one event (a ``ts`` field is added if missing)."""
+        if self._handle is None:
+            return
+        if "ts" not in event:
+            event = {**event, "ts": time.time()}
+        self._handle.write(json.dumps(event, default=str) + "\n")
+        self.n_events += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a JSONL events file back into a list of dicts.
+
+    Blank lines are skipped; a torn final line (crash mid-write)
+    raises ``json.JSONDecodeError`` — callers that want to salvage a
+    partial file should slice off the last line themselves.
+    """
+    events: List[Dict[str, object]] = []
+    with open(Path(path)) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,0 +1,151 @@
+"""Metrics primitives: counters, gauges, and streaming histograms.
+
+The :class:`MetricsRegistry` is the single sink every instrumented
+layer writes to.  Counters and gauges are plain floats; histograms use
+a log-bucketed sketch (DDSketch-style) so p50/p95/p99 come out with a
+bounded *relative* error without storing individual samples — a run
+over millions of jobs costs a few hundred buckets, not millions of
+floats.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+
+class StreamingHistogram:
+    """A mergeable quantile sketch over log-spaced buckets.
+
+    Values are mapped to buckets whose boundaries grow geometrically
+    by ``gamma = (1 + a) / (1 - a)`` where ``a`` is the requested
+    relative accuracy; any quantile estimate is then within ``a`` of
+    the true value *relatively* (DDSketch's guarantee).  Negative
+    values use a mirrored bucket table and zero gets its own bucket,
+    so slack-style signed series work unmodified.
+    """
+
+    def __init__(self, relative_accuracy: float = 0.005):
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError("relative_accuracy must be in (0, 1)")
+        self.relative_accuracy = relative_accuracy
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self._gamma)
+        self._positive: Dict[int, int] = {}
+        self._negative: Dict[int, int] = {}
+        self._zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _bucket(self, magnitude: float) -> int:
+        return math.ceil(math.log(magnitude) / self._log_gamma)
+
+    def _representative(self, index: int) -> float:
+        # Midpoint (harmonically) of the bucket [g^(i-1), g^i]: within
+        # ``relative_accuracy`` of every value that landed in it.
+        return 2.0 * self._gamma ** index / (self._gamma + 1.0)
+
+    def observe(self, value: float) -> None:
+        """Add one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value > 0.0:
+            index = self._bucket(value)
+            self._positive[index] = self._positive.get(index, 0) + 1
+        elif value < 0.0:
+            index = self._bucket(-value)
+            self._negative[index] = self._negative.get(index, 0) + 1
+        else:
+            self._zeros += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (exact, not sketched)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        cumulative = -1.0
+        # Ascending value order: most-negative first (descending
+        # magnitude), then zeros, then positives (ascending magnitude).
+        for index in sorted(self._negative, reverse=True):
+            cumulative += self._negative[index]
+            if cumulative >= rank:
+                return self._clamp(-self._representative(index))
+        cumulative += self._zeros
+        if cumulative >= rank:
+            return self._clamp(0.0)
+        for index in sorted(self._positive):
+            cumulative += self._positive[index]
+            if cumulative >= rank:
+                return self._clamp(self._representative(index))
+        return self.max  # numerical belt-and-braces
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.min), self.max)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary dict: count, mean, min/max and the headline
+        quantiles."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one run."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, StreamingHistogram] = {}
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        self.gauges[name] = float(value)
+
+    def histogram(self, name: str) -> StreamingHistogram:
+        """Get (or lazily create) the histogram called ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = StreamingHistogram()
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        """Add a sample to histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-ready view of every metric (histograms summarized)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: hist.snapshot()
+                for name, hist in self.histograms.items()
+            },
+        }

@@ -1,0 +1,187 @@
+"""Render captured runs: stage-timing tables and episode summaries.
+
+Pure presentation over the artifacts ``runctx`` wrote — nothing here
+mutates a run directory.  ``render_run`` is the engine behind
+``repro report <run-dir>``; ``format_stage_table`` also serves the
+stage-timing footer ``repro experiment --profile`` prints from the
+live tracer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..runtime.trace import sparkline
+from .events import read_events
+from .runctx import EVENTS_NAME, MANIFEST_NAME
+
+AggregateRows = Sequence[Tuple[str, Optional[str], int, int, float]]
+
+
+def format_stage_table(rows: AggregateRows) -> str:
+    """Aligned stage-timing table from ``Tracer.aggregate()`` rows.
+
+    Nested stages are indented under their parents; ``count`` is how
+    many spans shared that (name, parent) slot (e.g. one ``fit`` per
+    benchmark), ``total`` their summed wall-clock.
+    """
+    if not rows:
+        return "(no spans recorded)"
+    header = ("stage", "count", "total_s", "mean_s")
+    table: List[Tuple[str, str, str, str]] = [header]
+    for name, _parent, depth, count, total in rows:
+        table.append((
+            "  " * depth + name,
+            str(count),
+            f"{total:.3f}",
+            f"{total / count:.3f}",
+        ))
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    return "\n".join(
+        "  ".join(
+            cell.ljust(w) if i == 0 else cell.rjust(w)
+            for i, (cell, w) in enumerate(zip(row, widths))
+        )
+        for row in table
+    )
+
+
+def summarize_job_events(events: Sequence[Dict]) -> str:
+    """Per-(controller, task) digest of ``type == "job"`` events.
+
+    Shows job/miss/boost/switch counts, the mean absolute prediction
+    error where a prediction was recorded, and a slack sparkline —
+    the quick "where did the misses cluster" view.
+    """
+    groups: Dict[Tuple[str, str], List[Dict]] = {}
+    for event in events:
+        if event.get("type") != "job":
+            continue
+        key = (str(event.get("controller", "?")),
+               str(event.get("task", "?")))
+        groups.setdefault(key, []).append(event)
+    if not groups:
+        return "(no job events)"
+    lines = []
+    for (controller, task), jobs in groups.items():
+        misses = sum(1 for j in jobs if j.get("missed"))
+        boosts = sum(1 for j in jobs if j.get("boosted"))
+        switches = sum(1 for j in jobs if j.get("switched"))
+        errors = [
+            abs(float(j["predicted_cycles"]) - float(j["actual_cycles"]))
+            / float(j["actual_cycles"]) * 100.0
+            for j in jobs
+            if j.get("predicted_cycles") is not None
+            and float(j.get("actual_cycles", 0)) > 0
+        ]
+        slack = [float(j["slack"]) for j in jobs if "slack" in j]
+        lines.append(
+            f"  {controller} on {task}: {len(jobs)} jobs, "
+            f"{misses} missed, {boosts} boosted, {switches} switches"
+            + (f", mean |err| {sum(errors) / len(errors):.2f}%"
+               if errors else "")
+        )
+        if slack:
+            lines.append(f"    slack {sparkline(slack)}")
+    return "\n".join(lines)
+
+
+def load_manifest(run_dir: Path) -> Dict:
+    """Parse ``manifest.json`` from a run directory."""
+    with open(run_dir / MANIFEST_NAME) as handle:
+        return json.load(handle)
+
+
+def _manifest_rows(stages: Sequence[Dict]) -> AggregateRows:
+    """Re-aggregate manifest ``stages`` entries by (name, parent)."""
+    order: List[Tuple[str, Optional[str]]] = []
+    totals: Dict[Tuple[str, Optional[str]], List[float]] = {}
+    depths: Dict[Tuple[str, Optional[str]], int] = {}
+    # Same pre-order treatment as Tracer.aggregate(): sort by entry.
+    stages = sorted(stages, key=lambda s: (float(s.get("start", 0.0)),
+                                           int(s.get("depth", 0))))
+    for stage in stages:
+        key = (stage["name"], stage.get("parent"))
+        if key not in totals:
+            totals[key] = []
+            depths[key] = int(stage.get("depth", 0))
+            order.append(key)
+        totals[key].append(float(stage["duration_s"]))
+    return [
+        (name, parent, depths[(name, parent)],
+         len(totals[(name, parent)]), sum(totals[(name, parent)]))
+        for name, parent in order
+    ]
+
+
+def render_run(run_dir) -> str:
+    """The full terminal report for one captured run directory."""
+    run_dir = Path(run_dir)
+    manifest = load_manifest(run_dir)
+    lines = [
+        f"run: {manifest.get('command') or '(unknown command)'}",
+        f"  dir      {run_dir}",
+        f"  git rev  {manifest.get('git_rev', 'unknown')}",
+        f"  python   {manifest.get('python', '?')} "
+        f"on {manifest.get('platform', '?')}",
+        f"  duration {float(manifest.get('duration_s', 0.0)):.2f}s, "
+        f"{manifest.get('n_events', 0)} events",
+    ]
+    config = manifest.get("config") or {}
+    if config:
+        rendered = ", ".join(f"{k}={v}" for k, v in config.items())
+        lines.append(f"  config   {rendered}")
+    lines.append("")
+    lines.append("stage timings:")
+    lines.append(format_stage_table(_manifest_rows(
+        manifest.get("stages", []))))
+    metrics = manifest.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    histograms = metrics.get("histograms") or {}
+    if counters or gauges or histograms:
+        lines.append("")
+        lines.append("metrics:")
+        for name in sorted(counters):
+            lines.append(f"  {name} = {counters[name]:g}")
+        for name in sorted(gauges):
+            lines.append(f"  {name} = {gauges[name]:g}")
+        for name in sorted(histograms):
+            snap = histograms[name]
+            if snap.get("count"):
+                lines.append(
+                    f"  {name}: n={snap['count']} mean={snap['mean']:.4g}"
+                    f" p50={snap['p50']:.4g} p95={snap['p95']:.4g}"
+                    f" p99={snap['p99']:.4g}"
+                )
+    events_path = run_dir / EVENTS_NAME
+    if events_path.exists():
+        lines.append("")
+        lines.append("episodes:")
+        try:
+            events = read_events(events_path)
+        except json.JSONDecodeError:
+            # A torn final line (crash mid-write) shouldn't kill the
+            # report — salvage the complete lines and say so.
+            events = _salvage_events(events_path)
+            lines.append(f"  (events file truncated mid-write; "
+                         f"salvaged {len(events)} complete events)")
+        lines.append(summarize_job_events(events))
+    return "\n".join(lines)
+
+
+def _salvage_events(path: Path) -> List[Dict]:
+    """Parse a JSONL file line by line, skipping unparseable lines."""
+    events: List[Dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return events

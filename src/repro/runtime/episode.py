@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..dvfs.energy import EnergyModel, JobActivity
+from ..obs import get_observer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from ..dvfs.controllers import Controller
@@ -81,6 +82,8 @@ def run_episode(controller: "Controller",
     previous = nominal  # the accelerator idles at nominal before job 0
     outcomes: List[JobOutcome] = []
     now = 0.0
+    observer = get_observer()  # None keeps the per-job cost at one test
+    switch_count = 0
 
     for index, job in enumerate(jobs):
         release = index * task.deadline
@@ -96,6 +99,8 @@ def run_episode(controller: "Controller",
         total = t_slice + t_switch_actual + t_exec
         missed = start + total > release + task.deadline
         now = start + total
+        if switch_needed:
+            switch_count += 1
 
         energy = energy_model.job_energy(job.activity, point, t_exec)
         if controller.uses_slice and t_slice > 0.0:
@@ -118,9 +123,40 @@ def run_episode(controller: "Controller",
             t_exec=t_exec,
             energy=energy,
             missed=missed,
+            release=release,
+            start=start,
         ))
         previous = point
         controller.observe(job)
+
+        if observer is not None:
+            slack = release + task.deadline - now
+            observer.emit(
+                "job",
+                controller=controller.name, task=task.name,
+                index=job.index,
+                predicted_cycles=job.predicted_cycles,
+                actual_cycles=job.actual_cycles,
+                voltage=point.voltage, frequency=point.frequency,
+                slack=slack, missed=missed,
+                boosted=point.is_boost, switched=switch_needed,
+                t_slice=t_slice, t_exec=t_exec, energy=energy,
+            )
+            observer.metrics.observe("episode.slack_ms", slack * 1e3)
+
+    if observer is not None:
+        observer.metrics.inc("episode.jobs", len(outcomes))
+        observer.metrics.inc(
+            "episode.misses", sum(1 for o in outcomes if o.missed))
+        observer.metrics.inc("episode.switches", switch_count)
+        observer.emit(
+            "episode",
+            controller=controller.name, task=task.name,
+            n_jobs=len(outcomes),
+            energy=sum(o.energy for o in outcomes),
+            misses=sum(1 for o in outcomes if o.missed),
+            switches=switch_count,
+        )
 
     return EpisodeResult(controller=controller.name, task=task,
                          outcomes=outcomes)

@@ -53,7 +53,14 @@ class JobRecord:
 
 @dataclass(frozen=True)
 class JobOutcome:
-    """What happened when one job ran under a controller."""
+    """What happened when one job ran under a controller.
+
+    ``release`` and ``start`` pin the job to the wall clock as the
+    episode runner computed it — carry-over from an overrunning
+    predecessor makes ``start > release``.  Recording them here (once,
+    in ``run_episode``) is what lets ``trace_episode`` render the
+    timeline without re-deriving it.
+    """
 
     job: JobRecord
     voltage: float
@@ -64,7 +71,14 @@ class JobOutcome:
     t_exec: float
     energy: float
     missed: bool
+    release: float = 0.0
+    start: float = 0.0
 
     @property
     def total_time(self) -> float:
         return self.t_slice + self.t_switch + self.t_exec
+
+    @property
+    def finish(self) -> float:
+        """Wall-clock completion time (start plus all time spent)."""
+        return self.start + self.total_time

@@ -1,9 +1,12 @@
 """Execution traces: per-job timelines and terminal rendering.
 
-``trace_episode`` reconstructs the wall-clock timeline of an episode
-(release, start, finish, slack) from its outcomes — the view a systems
-person wants when a miss needs explaining.  ``render_trace`` draws it
-as a table plus voltage/slack sparklines for terminal inspection.
+``trace_episode`` exposes the wall-clock timeline of an episode
+(release, start, finish, slack) — the view a systems person wants when
+a miss needs explaining.  The timeline itself is recorded *once* by
+``run_episode`` on each :class:`JobOutcome`; this module only reshapes
+it, so the trace can never drift from what the episode actually
+accounted.  ``render_trace`` draws it as a table plus voltage/slack
+sparklines for terminal inspection.
 """
 
 from __future__ import annotations
@@ -28,40 +31,47 @@ class TracePoint:
     frequency: float
     energy: float
     missed: bool
+    deadline: float = 0.0  # the task period (0.0 for legacy callers)
 
     @property
     def slack(self) -> float:
         """Time left before the deadline at completion (negative on a
         miss)."""
-        return self.release - self.finish  # deadline == next release
+        return self.release + self.deadline - self.finish
 
     @property
     def queued(self) -> float:
-        """How long the job waited for the accelerator (carry-over)."""
-        return self.start - (self.release - 0.0)
+        """How long the job waited for the accelerator.
+
+        ``start - release``: zero when the accelerator was idle at
+        release, and exactly the carry-over delay when the previous
+        job overran its period and pushed this job's start.
+        """
+        return self.start - self.release
 
 
 def trace_episode(result: EpisodeResult) -> List[TracePoint]:
-    """Reconstruct the timeline (periodic releases, carry-over)."""
+    """The episode timeline (periodic releases, carry-over).
+
+    Reads the release/start recorded by ``run_episode`` on each
+    outcome rather than re-deriving them, so trace and accounting
+    cannot disagree.
+    """
     deadline = result.task.deadline
-    now = 0.0
-    points: List[TracePoint] = []
-    for i, outcome in enumerate(result.outcomes):
-        release = i * deadline
-        start = max(now, release)
-        finish = start + outcome.total_time
-        now = finish
-        points.append(TracePoint(
+    return [
+        TracePoint(
             index=i,
-            release=release,
-            start=start,
-            finish=finish,
+            release=outcome.release,
+            start=outcome.start,
+            finish=outcome.finish,
             voltage=outcome.voltage,
             frequency=outcome.frequency,
             energy=outcome.energy,
             missed=outcome.missed,
-        ))
-    return points
+            deadline=deadline,
+        )
+        for i, outcome in enumerate(result.outcomes)
+    ]
 
 
 def sparkline(values: Sequence[float], width: int = 60) -> str:
@@ -91,12 +101,12 @@ def render_trace(result: EpisodeResult, head: int = 12,
         f"trace: {result.controller} on {result.task.name} "
         f"({len(points)} jobs, deadline {deadline * 1e3:.1f} ms)",
         f"  V    {sparkline([p.voltage for p in points], width)}",
-        f"  slack{sparkline([(p.release + deadline - p.finish) / deadline for p in points], width)}",
+        f"  slack{sparkline([p.slack / deadline for p in points], width)}",
         f"  {'job':>4s} {'start':>9s} {'finish':>9s} {'V':>6s} "
         f"{'slack_ms':>9s} {'miss':>4s}",
     ]
     for p in points[:head]:
-        slack_ms = (p.release + deadline - p.finish) * 1e3
+        slack_ms = p.slack * 1e3
         lines.append(
             f"  {p.index:4d} {p.start * 1e3:7.2f}ms {p.finish * 1e3:7.2f}ms "
             f"{p.voltage:6.3f} {slack_ms:9.2f} "

@@ -1,0 +1,49 @@
+"""The offline flow emits spans, metrics, and a flow event."""
+
+from repro.accelerators import get_design
+from repro.flow import generate_predictor
+from repro.obs import read_events, session
+from repro.workloads import workload_for
+
+
+def test_generate_predictor_records_stages(tmp_path):
+    design = get_design("sha")
+    workload = workload_for("sha", scale=0.1)
+    run_dir = tmp_path / "flow"
+    with session(run_dir=run_dir, command="flow test") as obs:
+        package = generate_predictor(design, workload.train)
+
+    names = [s.name for s in obs.tracer.spans]
+    for stage in ("synthesize", "detect", "record", "fit", "slice",
+                  "flow"):
+        assert stage in names
+    flow_span = next(s for s in obs.tracer.spans if s.name == "flow")
+    fit_span = next(s for s in obs.tracer.spans if s.name == "fit")
+    assert flow_span.depth == 0 and fit_span.parent == "flow"
+    assert flow_span.labels == {"design": "sha"}
+
+    counters = obs.metrics.counters
+    assert counters["flow.designs"] == 1.0
+    assert counters["flow.features.candidate"] == float(
+        package.n_candidate_features)
+    assert counters["flow.features.selected"] == float(
+        package.n_selected_features)
+    assert obs.metrics.gauges["flow.gamma.sha"] == package.gamma
+
+    flow_events = [e for e in read_events(run_dir / "events.jsonl")
+                   if e["type"] == "flow"]
+    assert len(flow_events) == 1
+    assert flow_events[0]["design"] == "sha"
+    assert flow_events[0]["n_selected_features"] == \
+        package.n_selected_features
+
+
+def test_generate_predictor_unobserved_has_no_side_channel():
+    """Without a session the flow neither records nor crashes."""
+    from repro.obs import get_observer
+
+    design = get_design("sha")
+    workload = workload_for("sha", scale=0.1)
+    assert get_observer() is None
+    package = generate_predictor(design, workload.train)
+    assert package.n_selected_features >= 1

@@ -1,0 +1,77 @@
+"""Streaming histogram accuracy and registry behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, StreamingHistogram
+
+
+@pytest.mark.parametrize("dist", ["lognormal", "uniform", "normal"])
+def test_quantiles_match_numpy(dist):
+    rng = np.random.default_rng(42)
+    if dist == "lognormal":
+        samples = rng.lognormal(mean=10.0, sigma=1.5, size=20_000)
+    elif dist == "uniform":
+        samples = rng.uniform(1e-3, 1e3, size=20_000)
+    else:
+        samples = rng.normal(0.0, 50.0, size=20_000)  # signed values
+
+    hist = StreamingHistogram(relative_accuracy=0.005)
+    for value in samples:
+        hist.observe(float(value))
+
+    for q in (0.50, 0.95, 0.99):
+        exact = float(np.quantile(samples, q))
+        estimate = hist.quantile(q)
+        # DDSketch guarantee: relative error <= accuracy (plus the
+        # rank-interpolation difference vs numpy on finite samples).
+        scale = max(abs(exact), 1e-9)
+        assert abs(estimate - exact) / scale < 0.02, (q, exact, estimate)
+
+
+def test_histogram_exact_stats():
+    hist = StreamingHistogram()
+    for value in (1.0, 2.0, 3.0, -4.0, 0.0):
+        hist.observe(value)
+    assert hist.count == 5
+    assert hist.mean == pytest.approx(0.4)
+    assert hist.min == -4.0 and hist.max == 3.0
+    assert hist.quantile(0.0) == pytest.approx(-4.0, rel=0.02)
+    assert hist.quantile(1.0) == pytest.approx(3.0, rel=0.02)
+
+
+def test_histogram_empty_and_validation():
+    hist = StreamingHistogram()
+    assert hist.quantile(0.5) == 0.0
+    assert hist.snapshot() == {"count": 0}
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+    with pytest.raises(ValueError):
+        StreamingHistogram(relative_accuracy=0.0)
+
+
+def test_histogram_memory_is_bounded():
+    """The sketch stores buckets, not samples."""
+    hist = StreamingHistogram(relative_accuracy=0.01)
+    rng = np.random.default_rng(7)
+    for value in rng.lognormal(5.0, 2.0, size=50_000):
+        hist.observe(float(value))
+    assert len(hist._positive) < 2_000  # vs 50k raw samples
+
+
+def test_registry_counters_gauges_histograms():
+    registry = MetricsRegistry()
+    registry.inc("jobs")
+    registry.inc("jobs", 4)
+    registry.set_gauge("gamma", 0.25)
+    registry.set_gauge("gamma", 0.5)
+    for value in range(100):
+        registry.observe("latency", float(value))
+    snap = registry.snapshot()
+    assert snap["counters"]["jobs"] == 5.0
+    assert snap["gauges"]["gamma"] == 0.5
+    assert snap["histograms"]["latency"]["count"] == 100
+    assert snap["histograms"]["latency"]["p50"] == pytest.approx(
+        49.5, abs=2.0)
+    # Same name returns the same histogram object.
+    assert registry.histogram("latency") is registry.histogram("latency")

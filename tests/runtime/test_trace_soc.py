@@ -73,6 +73,39 @@ def test_trace_shows_carryover_on_overrun(levels):
     assert points[1].start > points[1].release  # delayed by the overrun
 
 
+def test_queued_equals_carryover_delay(levels):
+    """``queued`` is exactly the predecessor's overrun carried over."""
+    over = int(levels.nominal.frequency * 12 * MS)  # 2 ms past deadline
+    small = int(levels.nominal.frequency * 1 * MS)
+    episode = run_episode(ConstantFrequencyController(levels),
+                          [job(0, over), job(1, small), job(2, small)],
+                          TASK, FlatEnergyModel())
+    points = trace_episode(episode)
+    assert points[0].queued == 0.0  # accelerator idle at release
+    overrun = points[0].finish - (points[0].release + TASK.deadline)
+    assert overrun == pytest.approx(2 * MS)
+    assert points[1].queued == pytest.approx(overrun)
+    assert points[2].queued == 0.0  # job 1 was short; carry-over gone
+
+
+def test_trace_consumes_episode_timeline(levels):
+    """The trace is read off JobOutcome, not re-derived — identical
+    release/start/finish, and slack agrees with the miss flag."""
+    over = int(levels.nominal.frequency * 12 * MS)
+    small = int(levels.nominal.frequency * 1 * MS)
+    episode = run_episode(ConstantFrequencyController(levels),
+                          [job(0, over), job(1, small)], TASK,
+                          FlatEnergyModel())
+    points = trace_episode(episode)
+    for point, outcome in zip(points, episode.outcomes):
+        assert point.release == outcome.release
+        assert point.start == outcome.start
+        assert point.finish == outcome.finish
+        assert (point.slack < 0) == outcome.missed
+        assert point.slack == pytest.approx(
+            point.release + TASK.deadline - point.finish)
+
+
 def test_sparkline_properties():
     assert sparkline([]) == ""
     assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
