@@ -19,7 +19,7 @@ import pathlib
 
 import pytest
 
-from repro.experiments import bundle_for, default_scale
+from repro.experiments import default_scale, prewarm_bundles
 from repro.workloads import ALL_BENCHMARKS
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -27,10 +27,13 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def prewarmed():
-    """Build every benchmark bundle once, up front."""
+    """Build every benchmark bundle once, up front.
+
+    ``prewarm_bundles`` honours the ambient ``REPRO_JOBS`` setting, so
+    exporting it fans the bundle builds out across processes.
+    """
     scale = default_scale()
-    for name in ALL_BENCHMARKS:
-        bundle_for(name, scale)
+    prewarm_bundles(ALL_BENCHMARKS, scale)
     return scale
 
 

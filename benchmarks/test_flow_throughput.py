@@ -3,6 +3,7 @@ how fast the offline flow and the simulator substrate run."""
 
 from repro.accelerators import get_design
 from repro.flow import FlowConfig, generate_predictor
+from repro.parallel import ArtifactCache, set_cache
 from repro.rtl import Simulation, synthesize
 from repro.workloads import workload_for
 
@@ -18,6 +19,32 @@ def test_offline_flow_cjpeg(benchmark):
 
     package = benchmark.pedantic(flow, rounds=1, iterations=1)
     assert package.n_selected_features >= 1
+
+
+def test_offline_flow_cjpeg_warm_cache(benchmark, tmp_path):
+    """The same flow rerun against a warm artifact cache.
+
+    One cold pass seeds the cache; the benchmark then measures warm
+    reruns, which skip the record stage (the flow's dominant cost) and
+    should run an order of magnitude faster than ``test_offline_flow_cjpeg``.
+    """
+    design = get_design("cjpeg")
+    workload = workload_for("cjpeg", scale=0.15)
+    cache = set_cache(ArtifactCache(tmp_path))
+    try:
+        cold = generate_predictor(design, workload.train,
+                                  FlowConfig(gamma=1e-4))
+
+        def warm_flow():
+            return generate_predictor(design, workload.train,
+                                      FlowConfig(gamma=1e-4))
+
+        package = benchmark.pedantic(warm_flow, rounds=3, iterations=1)
+        # >= 1, not == rounds: --benchmark-disable collapses to one call.
+        assert cache.stats.by_kind.get("feature_matrix.hit", 0) >= 1
+        assert package.n_selected_features == cold.n_selected_features
+    finally:
+        set_cache(None)
 
 
 def test_simulator_throughput_h264(benchmark):

@@ -15,7 +15,8 @@ accumulates the per-job feature vector.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+import functools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -115,12 +116,68 @@ class FeatureRecorder(Listener):
         return self._values.copy()
 
 
+def _summarize_job_inputs(inputs: Dict[str, int],
+                          memories: Dict[str, Sequence[int]]) -> str:
+    """Compact input digest for error messages on failed jobs."""
+    parts = [f"{name}={value}" for name, value in sorted(inputs.items())]
+    parts += [f"{name}[{len(words)} words]"
+              for name, words in sorted(memories.items())]
+    return ", ".join(parts) if parts else "(no inputs)"
+
+
+def _simulate_job(sim: Simulation, recorder: FeatureRecorder,
+                  index: int, inputs: Dict[str, int],
+                  memories: Dict[str, Sequence[int]],
+                  max_cycles: int, ignore_unknown: bool
+                  ) -> Tuple[np.ndarray, int]:
+    # One training job on a prepared simulation: the shared body of
+    # the serial loop and the pool workers, so both raise identical,
+    # debuggable errors and return identical (row, cycles) pairs.
+    sim.reset()
+    recorder.start_job()
+    sim.load(inputs=inputs, memories=memories,
+             ignore_unknown=ignore_unknown)
+    result = sim.run(max_cycles=max_cycles)
+    if not result.finished:
+        raise RuntimeError(
+            f"job {index} did not finish within {max_cycles} cycles on "
+            f"{sim.module.name} "
+            f"(inputs: {_summarize_job_inputs(inputs, memories)})"
+        )
+    return recorder.vector(), result.cycles
+
+
+#: Per-process (module, feature_set) -> (Simulation, FeatureRecorder),
+#: so a pool worker builds its instrumented simulation once, not once
+#: per job.  Keyed by object identity: stable within one process.
+_WORKER_SIMS: Dict[Tuple[int, int], Tuple[Simulation, FeatureRecorder]] = {}
+
+
+def _record_worker(module: Module, feature_set: FeatureSet,
+                   max_cycles: int, ignore_unknown: bool,
+                   indexed_job) -> Tuple[np.ndarray, int]:
+    # pmap worker: simulate one (index, (inputs, memories)) item.
+    key = (id(module), id(feature_set))
+    state = _WORKER_SIMS.get(key)
+    if state is None:
+        recorder = FeatureRecorder(feature_set)
+        sim = Simulation(module, listener=recorder,
+                         track_state_cycles=False)
+        _WORKER_SIMS.clear()  # only ever one live design per worker
+        _WORKER_SIMS[key] = state = (sim, recorder)
+    sim, recorder = state
+    index, (inputs, memories) = indexed_job
+    return _simulate_job(sim, recorder, index, inputs, memories,
+                         max_cycles, ignore_unknown)
+
+
 def record_jobs(
     module: Module,
     feature_set: FeatureSet,
     jobs: Iterable[Tuple[Dict[str, int], Dict[str, Sequence[int]]]],
     max_cycles: int = 200_000_000,
     ignore_unknown_inputs: bool = False,
+    workers: Optional[int] = None,
 ) -> FeatureMatrix:
     """Run ``jobs`` (port dict, memory dict pairs) on an instrumented
     simulation and collect features plus execution cycles.
@@ -128,23 +185,30 @@ def record_jobs(
     This is the offline "RTL simulation with a training set" step of
     Figure 6 in the paper.  ``ignore_unknown_inputs`` permits feeding
     full-design jobs into a hardware slice that dropped some inputs.
+
+    Jobs are independent simulations, so ``workers > 1`` fans them out
+    over a process pool (``workers=None`` follows the ambient
+    ``--jobs``/``REPRO_JOBS`` setting).  Results keep input order and
+    are bit-identical to a serial run.
     """
-    recorder = FeatureRecorder(feature_set)
-    sim = Simulation(module, listener=recorder, track_state_cycles=False)
-    rows: List[np.ndarray] = []
-    cycles: List[int] = []
-    for inputs, memories in jobs:
-        sim.reset()
-        recorder.start_job()
-        sim.load(inputs=inputs, memories=memories,
-                 ignore_unknown=ignore_unknown_inputs)
-        result = sim.run(max_cycles=max_cycles)
-        if not result.finished:
-            raise RuntimeError(
-                f"job did not finish within {max_cycles} cycles on "
-                f"{module.name}"
-            )
-        rows.append(recorder.vector())
-        cycles.append(result.cycles)
+    from ..parallel import pmap, resolve_jobs
+
+    indexed = list(enumerate(jobs))
+    n_workers = min(resolve_jobs(workers), max(len(indexed), 1))
+    if n_workers > 1:
+        fn = functools.partial(_record_worker, module, feature_set,
+                               max_cycles, ignore_unknown_inputs)
+        pairs = pmap(fn, indexed, jobs=n_workers, label="record.pmap")
+    else:
+        recorder = FeatureRecorder(feature_set)
+        sim = Simulation(module, listener=recorder,
+                         track_state_cycles=False)
+        pairs = [
+            _simulate_job(sim, recorder, index, inputs, memories,
+                          max_cycles, ignore_unknown_inputs)
+            for index, (inputs, memories) in indexed
+        ]
+    rows = [row for row, _ in pairs]
+    cycles = [c for _, c in pairs]
     x = np.vstack(rows) if rows else np.zeros((0, len(feature_set)))
     return FeatureMatrix(feature_set, x, np.asarray(cycles, dtype=float))

@@ -6,14 +6,18 @@ Commands:
 * ``describe <benchmark>`` — structural detection report + timing stats;
 * ``experiment <id> [--scale S]`` — regenerate one table/figure;
 * ``verilog <benchmark> [-o FILE]`` — export a design as Verilog;
-* ``predict <benchmark> [--scale S] [--jobs N]`` — train a predictor
+* ``predict <benchmark> [--scale S] [--show N]`` — train a predictor
   and show per-job predictions (the quickstart, from the shell);
 * ``report <run-dir>`` — render a captured observability run; without
   a run directory, run all experiments into a markdown report.
 
 ``experiment``, ``predict`` and ``report`` accept ``--profile`` (print
 a stage-timing table) and ``--run-dir DIR`` (write ``manifest.json``
-plus ``events.jsonl`` with per-stage spans and per-job records).
+plus ``events.jsonl`` with per-stage spans and per-job records), plus
+the performance knobs: ``--jobs N`` (worker processes for the offline
+flow; default ``REPRO_JOBS`` or serial) and ``--cache-dir [DIR]``
+(persistent artifact cache; bare flag uses ``~/.cache/repro``, default
+``REPRO_CACHE_DIR`` or disabled).
 """
 
 from __future__ import annotations
@@ -50,6 +54,20 @@ EXPERIMENTS = {
     "taxonomy": "ext_taxonomy",
 }
 
+#: Benchmarks each experiment builds bundles for — the prewarm fan-out
+#: set when ``--jobs N`` asks for parallel bundle builds.  Experiments
+#: absent here (table3, multires) build no shared bundles.
+_EXPERIMENT_BENCHMARKS = {
+    **{exp_id: "all" for exp_id in (
+        "table4", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig17", "all-schemes", "taxonomy")},
+    "fig2": ("h264",),
+    "fig3": ("h264",),
+    "case-study": ("h264",),
+    "fig18": ("md", "stencil"),
+    "fig19": ("md", "stencil"),
+}
+
 
 @contextlib.contextmanager
 def _maybe_observe(args: argparse.Namespace, command: str) -> Iterator:
@@ -74,12 +92,56 @@ def _maybe_observe(args: argparse.Namespace, command: str) -> Iterator:
         yield obs
 
 
+def _apply_perf_opts(args: argparse.Namespace) -> None:
+    """Install the ``--jobs`` and ``--cache-dir`` settings globally.
+
+    The worker count and cache become the process-wide defaults that
+    ``record_jobs``, ``lasso_path`` and ``bundle_for`` consult, so the
+    whole flow honours the flags without threading them everywhere.
+    """
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        from .parallel import set_default_jobs
+        set_default_jobs(jobs)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        from .parallel import ArtifactCache, set_cache
+        set_cache(ArtifactCache(cache_dir))
+
+
+def _maybe_prewarm(benchmarks, scale: Optional[float]) -> None:
+    """Fan bundle builds out across workers when ``--jobs`` asks."""
+    from .parallel import resolve_jobs
+
+    if benchmarks is None or resolve_jobs(None) <= 1:
+        return
+    from .experiments import prewarm_bundles
+    from .workloads import ALL_BENCHMARKS
+
+    if benchmarks == "all":
+        benchmarks = ALL_BENCHMARKS
+    prewarm_bundles(benchmarks, scale=scale)
+
+
+def _print_cache_stats() -> None:
+    """One-line cache footer for commands run with a cache enabled."""
+    from .parallel import get_cache
+
+    cache = get_cache()
+    if cache is not None:
+        print(f"cache: {cache.stats.describe()} — {cache.root}")
+
+
 def _print_stage_timings(obs, run_dir: Optional[str]) -> None:
     """The post-run stage-timing footer for profiled commands."""
-    from .obs.report import format_stage_table
+    from .obs.report import format_stage_table, summarize_perf
 
     print("\nstage timings:")
     print(format_stage_table(obs.tracer.aggregate()))
+    perf = summarize_perf(obs.metrics.snapshot())
+    if perf:
+        print("parallelism/cache:")
+        print(perf)
     if run_dir:
         print(f"run artifacts: {run_dir} "
               f"(render with: repro report {run_dir})")
@@ -132,7 +194,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     module = importlib.import_module(
         f"repro.experiments.{EXPERIMENTS[exp_id]}")
     kwargs = {"tech": "fpga"} if exp_id == "fig17" else {}
+    _apply_perf_opts(args)
     with _maybe_observe(args, f"experiment {exp_id}") as obs:
+        _maybe_prewarm(_EXPERIMENT_BENCHMARKS.get(exp_id), args.scale)
         result = module.run(scale=args.scale, **kwargs)
         if exp_id == "fig17":
             print(module.to_text(result, tech="fpga"))
@@ -140,6 +204,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(module.to_text(result))
         if obs is not None:
             _print_stage_timings(obs, args.run_dir)
+    _print_cache_stats()
     return 0
 
 
@@ -215,7 +280,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         "",
     ]
     t0 = time.time()
+    _apply_perf_opts(args)
     with _maybe_observe(args, "report") as obs:
+        _maybe_prewarm("all", args.scale)
         for exp_id in ids:
             if exp_id not in EXPERIMENTS:
                 print(f"skipping unknown experiment {exp_id!r}",
@@ -237,6 +304,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(f"  {exp_id} done ({time.time() - t0:.0f}s elapsed)")
         if obs is not None:
             _print_stage_timings(obs, args.run_dir)
+    _print_cache_stats()
     report = "\n".join(sections)
     with open(args.output, "w") as handle:
         handle.write(report)
@@ -251,10 +319,12 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     design = get_design(args.benchmark)
     workload = workload_for(design.name, scale=args.scale)
     print(f"training on {len(workload.train)} jobs ...")
+    _apply_perf_opts(args)
     with _maybe_observe(args, f"predict {args.benchmark}") as obs:
         package = generate_predictor(design, workload.train)
         if obs is not None:
             _print_stage_timings(obs, args.run_dir)
+    _print_cache_stats()
     print(f"{package.n_candidate_features} candidate features -> "
           f"{package.n_selected_features} selected; slice area "
           f"{package.slice_cost.area_fraction * 100:.1f}%")
@@ -263,7 +333,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     sim = Simulation(package.simulation_module(),
                      track_state_cycles=False)
     print(f"{'job':>4s} {'predicted':>10s} {'actual':>10s} {'err%':>7s}")
-    for i, item in enumerate(workload.test[:args.jobs]):
+    for i, item in enumerate(workload.test[:args.show]):
         job = design.encode_job(item)
         predicted, _ = package.run_slice(job)
         sim.reset()
@@ -292,6 +362,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--run-dir", default=None, metavar="DIR",
         help="write manifest.json + events.jsonl run artifacts to DIR")
 
+    from .parallel import DEFAULT_CACHE_DIR
+    perf_opts = argparse.ArgumentParser(add_help=False)
+    perf_opts.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the offline flow "
+             "(default: REPRO_JOBS or serial)")
+    perf_opts.add_argument(
+        "--cache-dir", nargs="?", const=DEFAULT_CACHE_DIR, default=None,
+        metavar="DIR",
+        help="persist flow artifacts (bare flag: ~/.cache/repro; "
+             "default: REPRO_CACHE_DIR or disabled)")
+
     sub.add_parser("list", help="list benchmarks and experiments")
 
     p = sub.add_parser("describe", help="structural analysis of a design")
@@ -300,7 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sample N jobs for timing stats (0 to skip)")
 
     p = sub.add_parser("experiment", help="regenerate a table/figure",
-                       parents=[obs_opts])
+                       parents=[obs_opts, perf_opts])
     p.add_argument("id", help=f"one of: {', '.join(EXPERIMENTS)}")
     p.add_argument("--scale", type=float, default=None,
                    help="workload scale (default: REPRO_SCALE or 1.0)")
@@ -310,10 +392,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None)
 
     p = sub.add_parser("predict", help="train and demo a predictor",
-                       parents=[obs_opts])
+                       parents=[obs_opts, perf_opts])
     p.add_argument("benchmark", choices=ALL_DESIGNS)
     p.add_argument("--scale", type=float, default=0.15)
-    p.add_argument("--jobs", type=int, default=8)
+    p.add_argument("--show", type=int, default=8, metavar="N",
+                   help="number of test jobs to predict and print")
 
     p = sub.add_parser("lint", help="lint a benchmark design")
     p.add_argument("benchmark", choices=ALL_DESIGNS)
@@ -324,7 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--job", type=int, default=0)
 
     p = sub.add_parser(
-        "report", parents=[obs_opts],
+        "report", parents=[obs_opts, perf_opts],
         help="render a captured run dir, or run experiments into "
              "a markdown report")
     p.add_argument("run", nargs="?", default=None,

@@ -36,6 +36,7 @@ from .runner import (
     bundle_for,
     clear_bundle_cache,
     make_controller,
+    prewarm_bundles,
     run_scheme,
     tech_context,
 )
@@ -49,6 +50,6 @@ __all__ = [
     "ext_all_schemes", "ext_resolutions", "ext_taxonomy",
     "fig02_variation", "fig03_pid", "fig10_errors", "fig11_schemes",
     "fig12_overheads", "fig13_oracle", "fig14_boost", "fig15_deadlines",
-    "fig16_fpga", "make_controller", "run_scheme", "schemes", "table3",
-    "table4", "tech_context",
+    "fig16_fpga", "make_controller", "prewarm_bundles", "run_scheme",
+    "schemes", "table3", "table4", "tech_context",
 ]

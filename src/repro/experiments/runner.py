@@ -14,8 +14,9 @@ test records and returns the figures' (energy, misses) cell.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..accelerators import get_design
 from ..accelerators.base import AcceleratorDesign
@@ -44,7 +45,17 @@ from ..flow import (
     build_job_records,
     generate_predictor,
 )
-from ..obs import span
+from ..obs import get_observer, span
+from ..parallel import (
+    code_version,
+    combine_fingerprints,
+    design_hash,
+    flow_config_fingerprint,
+    get_cache,
+    pmap,
+    resolve_jobs,
+    workload_fingerprint,
+)
 from ..runtime import EpisodeResult, JobRecord, Task, run_episode
 from ..workloads import BenchmarkWorkload, workload_for
 from .setup import ExperimentConfig, default_config
@@ -66,42 +77,143 @@ class BenchmarkBundle:
         return self.design.name
 
 
-_BUNDLES: Dict[Tuple[str, float], BenchmarkBundle] = {}
+#: In-memory bundle cache, keyed by (benchmark, scale, FlowConfig
+#: fingerprint) — two calls that differ only in ``flow_config`` build
+#: two bundles instead of silently sharing the first one.
+_BUNDLES: Dict[Tuple[str, float, str], BenchmarkBundle] = {}
+
+
+def _bundle_disk_key(name: str, scale: float, config_fp: str) -> str:
+    # On-disk bundles additionally key on the design's structural hash
+    # and the code version, so editing an accelerator or bumping the
+    # cache schema orphans stale entries.
+    return combine_fingerprints(
+        design_hash(get_design(name).build()),
+        workload_fingerprint(name, scale),
+        config_fp,
+        code_version(),
+    )
+
+
+def _build_bundle(name: str, scale: float, flow_config: FlowConfig,
+                  workers: Optional[int]) -> BenchmarkBundle:
+    with span("bundle", benchmark=name, scale=scale):
+        design = get_design(name)
+        workload = workload_for(name, scale=scale)
+        package = generate_predictor(design, workload.train,
+                                     flow_config, workers=workers)
+        with span("test_records", benchmark=name,
+                  jobs=len(workload.test)):
+            test_records = build_job_records(design, package,
+                                             workload.test)
+        train_coarse = [
+            design.encode_job(item).coarse_param
+            for item in workload.train
+        ]
+    return BenchmarkBundle(
+        design=design,
+        workload=workload,
+        package=package,
+        test_records=test_records,
+        train_cycles=[float(c) for c in package.train_matrix.cycles],
+        train_coarse=train_coarse,
+    )
+
+
+def _bundle_from_disk(name: str, scale: float,
+                      config_fp: str) -> Optional[BenchmarkBundle]:
+    # Persistent-cache lookup (None when no cache is configured or the
+    # entry is absent); a hit lands in the in-memory cache too.
+    cache = get_cache()
+    if cache is None:
+        return None
+    bundle = cache.get("bundle", _bundle_disk_key(name, scale, config_fp))
+    if bundle is not None:
+        observer = get_observer()
+        if observer is not None:
+            observer.metrics.inc("flow.bundle.cached")
+        _BUNDLES[(name, scale, config_fp)] = bundle
+    return bundle
 
 
 def bundle_for(name: str, scale: Optional[float] = None,
-               flow_config: FlowConfig = FlowConfig()) -> BenchmarkBundle:
-    """Build (or fetch the cached) bundle for one benchmark."""
+               flow_config: FlowConfig = FlowConfig(),
+               workers: Optional[int] = None) -> BenchmarkBundle:
+    """Build (or fetch the cached) bundle for one benchmark.
+
+    Lookup order: the in-memory cache, then — when a persistent cache
+    is configured (``--cache-dir``/``REPRO_CACHE_DIR``) — the on-disk
+    artifact store, and only then a fresh build (whose record stage
+    and Lasso path honour ``workers``).  Freshly built bundles are
+    written back to the persistent cache for the next process.
+    """
     if scale is None:
         scale = default_config().scale
-    key = (name, scale)
-    if key not in _BUNDLES:
-        with span("bundle", benchmark=name, scale=scale):
-            design = get_design(name)
-            workload = workload_for(name, scale=scale)
-            package = generate_predictor(design, workload.train,
-                                         flow_config)
-            with span("test_records", benchmark=name,
-                      jobs=len(workload.test)):
-                test_records = build_job_records(design, package,
-                                                 workload.test)
-            train_coarse = [
-                design.encode_job(item).coarse_param
-                for item in workload.train
-            ]
-        _BUNDLES[key] = BenchmarkBundle(
-            design=design,
-            workload=workload,
-            package=package,
-            test_records=test_records,
-            train_cycles=[float(c) for c in package.train_matrix.cycles],
-            train_coarse=train_coarse,
-        )
-    return _BUNDLES[key]
+    config_fp = flow_config_fingerprint(flow_config)
+    bundle = _BUNDLES.get((name, scale, config_fp))
+    if bundle is not None:
+        return bundle
+    bundle = _bundle_from_disk(name, scale, config_fp)
+    if bundle is not None:
+        return bundle
+    bundle = _build_bundle(name, scale, flow_config, workers)
+    _BUNDLES[(name, scale, config_fp)] = bundle
+    cache = get_cache()
+    if cache is not None:
+        cache.put("bundle", _bundle_disk_key(name, scale, config_fp),
+                  bundle)
+    return bundle
+
+
+def _bundle_worker(scale: float, flow_config: FlowConfig,
+                   name: str) -> BenchmarkBundle:
+    # pmap worker for the bundle fan-out: inside the pool, bundle_for
+    # runs serially (daemonic workers never nest pools) and still
+    # consults/fills the shared on-disk cache.
+    return bundle_for(name, scale, flow_config)
+
+
+def prewarm_bundles(names: Iterable[str],
+                    scale: Optional[float] = None,
+                    flow_config: FlowConfig = FlowConfig(),
+                    workers: Optional[int] = None
+                    ) -> Dict[str, BenchmarkBundle]:
+    """Build several benchmark bundles, fanning out across processes.
+
+    Each bundle is an independent offline flow, so with ``workers > 1``
+    they build concurrently; results land in the in-memory and (when
+    configured) persistent caches, and subsequent ``bundle_for`` calls
+    are hits.  Returns ``{name: bundle}`` in input order.
+    """
+    if scale is None:
+        scale = default_config().scale
+    names = list(dict.fromkeys(names))
+    config_fp = flow_config_fingerprint(flow_config)
+    # Drain the persistent cache in *this* process first, so warm-run
+    # hits land in the session's own metrics, then fan out only the
+    # bundles that genuinely need building.
+    missing = [
+        n for n in names
+        if (n, scale, config_fp) not in _BUNDLES
+        and _bundle_from_disk(n, scale, config_fp) is None
+    ]
+    n_workers = min(resolve_jobs(workers), max(len(missing), 1))
+    if len(missing) > 1 and n_workers > 1:
+        fn = functools.partial(_bundle_worker, scale, flow_config)
+        built = pmap(fn, missing, jobs=n_workers, label="bundle.pmap")
+        cache = get_cache()
+        for name, bundle in zip(missing, built):
+            _BUNDLES[(name, scale, config_fp)] = bundle
+            if cache is not None:
+                disk_key = _bundle_disk_key(name, scale, config_fp)
+                if not cache.has("bundle", disk_key):
+                    cache.put("bundle", disk_key, bundle)
+    return {name: bundle_for(name, scale, flow_config)
+            for name in names}
 
 
 def clear_bundle_cache() -> None:
-    """Drop all cached bundles (tests and memory pressure)."""
+    """Drop all in-memory bundles (tests and memory pressure)."""
     _BUNDLES.clear()
 
 

@@ -37,6 +37,14 @@ from ..model import (
     select_gamma,
 )
 from ..obs import get_observer, span
+from ..parallel import (
+    code_version,
+    combine_fingerprints,
+    design_hash,
+    get_cache,
+    jobs_fingerprint,
+    stable_hash,
+)
 from ..rtl.compiled import compile_module
 from ..rtl.lint import errors_only, lint_module
 from ..rtl.module import Module
@@ -114,9 +122,45 @@ class GeneratedPredictor:
         return max(predicted, 0.0), result.cycles
 
 
+def _recorded_matrix(module: Module, compiled: Module,
+                     feature_set: FeatureSet, jobs,
+                     design_name: str,
+                     workers: Optional[int]) -> FeatureMatrix:
+    """The record stage, memoized through the artifact cache.
+
+    The cache key fingerprints everything the matrix depends on — the
+    design's structural hash, the candidate feature columns, the
+    encoded job contents, and the code version — so a hit is exactly
+    the matrix a fresh simulation would produce, and a warm rerun
+    skips the ``record`` span (and its RTL simulation) entirely.
+    """
+    cache = get_cache()
+    key = None
+    if cache is not None:
+        key = combine_fingerprints(
+            design_hash(module),
+            stable_hash(feature_set.names()),
+            jobs_fingerprint(jobs),
+            code_version(),
+        )
+        cached = cache.get("feature_matrix", key)
+        if cached is not None:
+            observer = get_observer()
+            if observer is not None:
+                observer.metrics.inc("flow.record.cached")
+            return cached
+    with span("record", design=design_name, jobs=len(jobs)):
+        matrix = record_jobs(compiled, feature_set, jobs,
+                             workers=workers)
+    if cache is not None:
+        cache.put("feature_matrix", key, matrix)
+    return matrix
+
+
 def generate_predictor(design: AcceleratorDesign,
                        train_items: Sequence,
-                       config: FlowConfig = FlowConfig()
+                       config: FlowConfig = FlowConfig(),
+                       workers: Optional[int] = None
                        ) -> GeneratedPredictor:
     """Run the full offline flow for one accelerator design.
 
@@ -125,6 +169,13 @@ def generate_predictor(design: AcceleratorDesign,
     shows where flow time goes per design; feature counts and the
     selected gamma land in the metrics registry.  With observability
     disabled the spans are shared no-ops.
+
+    ``workers`` (default: the ambient ``--jobs``/``REPRO_JOBS``
+    setting) parallelizes the record stage and the Lasso path across
+    processes; results are bit-identical to a serial run.  When a
+    persistent artifact cache is configured (``--cache-dir`` or
+    ``REPRO_CACHE_DIR``), the recorded feature matrix is reused across
+    runs and the ``record`` stage is skipped entirely on a warm hit.
     """
     with span("flow", design=design.name):
         module = design.build()
@@ -140,16 +191,17 @@ def generate_predictor(design: AcceleratorDesign,
         with span("detect", design=design.name):
             feature_set = discover_features(module, netlist)
             compiled = compile_module(module)
-        with span("record", design=design.name, jobs=len(train_items)):
-            jobs = [design.encode_job(item).as_pair()
-                    for item in train_items]
-            matrix = record_jobs(compiled, feature_set, jobs)
+        jobs = [design.encode_job(item).as_pair()
+                for item in train_items]
+        matrix = _recorded_matrix(module, compiled, feature_set, jobs,
+                                  design.name, workers)
 
         with span("fit", design=design.name):
             if config.gamma is None:
                 gamma, _ = select_gamma(
                     matrix, alpha=config.alpha,
-                    accuracy_slack=config.auto_gamma_slack)
+                    accuracy_slack=config.auto_gamma_slack,
+                    workers=workers)
             else:
                 gamma = config.gamma
             model = fit_predictor(matrix, config.training_config(gamma))

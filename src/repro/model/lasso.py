@@ -9,8 +9,9 @@ whose validation error is within a tolerance of the best.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,36 +48,54 @@ def _split(matrix: FeatureMatrix, val_fraction: float,
     return train, matrix.x[val_idx], matrix.cycles[val_idx]
 
 
+def _fit_path_point(train: FeatureMatrix, x_val: np.ndarray,
+                    y_val: np.ndarray, alpha: float,
+                    gamma: float) -> PathPoint:
+    # One gamma point: fit on the train split, score on the held-out
+    # split.  Module-level so the path can fan out over pool workers.
+    config = TrainingConfig(alpha=alpha, gamma=gamma)
+    model = fit_predictor(train, config)
+    pred = model.predictor.predict(x_val)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pct = np.abs(pred - y_val) / np.maximum(y_val, 1e-12) * 100.0
+    return PathPoint(
+        gamma=gamma,
+        n_features=model.n_selected_features,
+        val_error=float(np.mean(pct)),
+    )
+
+
 def lasso_path(matrix: FeatureMatrix, alpha: float = 8.0,
                gammas: Sequence[float] = DEFAULT_GAMMAS,
                val_fraction: float = 0.25,
-               seed: int = 0) -> List[PathPoint]:
-    """Fit at every gamma; report sparsity and held-out error."""
+               seed: int = 0,
+               workers: Optional[int] = None) -> List[PathPoint]:
+    """Fit at every gamma; report sparsity and held-out error.
+
+    Gamma points are independent fits over the same split, so
+    ``workers > 1`` distributes them over a process pool
+    (``workers=None`` follows the ambient ``--jobs``/``REPRO_JOBS``
+    setting); the returned path is identical to a serial run.
+    """
+    from ..parallel import pmap
+
     train, x_val, y_val = _split(matrix, val_fraction, seed)
-    points: List[PathPoint] = []
-    for gamma in gammas:
-        config = TrainingConfig(alpha=alpha, gamma=gamma)
-        model = fit_predictor(train, config)
-        pred = model.predictor.predict(x_val)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            pct = np.abs(pred - y_val) / np.maximum(y_val, 1e-12) * 100.0
-        points.append(PathPoint(
-            gamma=gamma,
-            n_features=model.n_selected_features,
-            val_error=float(np.mean(pct)),
-        ))
-    return points
+    fn = functools.partial(_fit_path_point, train, x_val, y_val, alpha)
+    return pmap(fn, list(gammas), jobs=workers, label="lasso_path.pmap")
 
 
 def select_gamma(matrix: FeatureMatrix, alpha: float = 8.0,
                  gammas: Sequence[float] = DEFAULT_GAMMAS,
                  accuracy_slack: float = 0.5,
                  val_fraction: float = 0.25,
-                 seed: int = 0) -> Tuple[float, List[PathPoint]]:
+                 seed: int = 0,
+                 workers: Optional[int] = None
+                 ) -> Tuple[float, List[PathPoint]]:
     """Pick the sparsest gamma within ``accuracy_slack`` (percentage
     points of mean error) of the best point on the path."""
     points = lasso_path(matrix, alpha=alpha, gammas=gammas,
-                        val_fraction=val_fraction, seed=seed)
+                        val_fraction=val_fraction, seed=seed,
+                        workers=workers)
     best = min(p.val_error for p in points)
     eligible = [p for p in points if p.val_error <= best + accuracy_slack]
     chosen = min(eligible, key=lambda p: (p.n_features, -p.gamma))

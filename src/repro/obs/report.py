@@ -48,6 +48,46 @@ def format_stage_table(rows: AggregateRows) -> str:
     )
 
 
+def summarize_perf(metrics: Dict) -> str:
+    """Pool-utilization and cache-effectiveness digest of a metrics
+    snapshot.
+
+    Reads the ``pool.*`` and ``cache.*`` series the parallel subsystem
+    emits and renders at most two lines — one for process-pool usage,
+    one for artifact-cache hits — or an empty string when the run used
+    neither, so callers can append it unconditionally.
+    """
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    lines: List[str] = []
+    maps = counters.get("pool.maps", 0)
+    if maps:
+        tasks = int(counters.get("pool.tasks", 0))
+        workers = int(gauges.get("pool.workers", 0))
+        line = (f"  pool: {tasks} tasks over {int(maps)} map(s), "
+                f"{workers} worker(s)")
+        utilization = gauges.get("pool.utilization")
+        if utilization is not None:
+            line += f", {utilization * 100.0:.0f}% busy"
+        lines.append(line)
+    hits = counters.get("cache.hit", 0)
+    misses = counters.get("cache.miss", 0)
+    if hits or misses:
+        total = hits + misses
+        line = (f"  cache: {int(hits)} hit(s), {int(misses)} miss(es) "
+                f"({hits / total * 100.0:.0f}% hit rate), "
+                f"{int(counters.get('cache.put', 0))} put(s)")
+        evicted = counters.get("cache.evict", 0)
+        if evicted:
+            line += f", {int(evicted)} evicted"
+        lines.append(line)
+    skipped = counters.get("flow.record.cached", 0)
+    if skipped:
+        lines.append(f"  record stage skipped for {int(skipped)} "
+                     f"design(s) (cached feature matrix)")
+    return "\n".join(lines)
+
+
 def summarize_job_events(events: Sequence[Dict]) -> str:
     """Per-(controller, task) digest of ``type == "job"`` events.
 
@@ -138,6 +178,11 @@ def render_run(run_dir) -> str:
     lines.append(format_stage_table(_manifest_rows(
         manifest.get("stages", []))))
     metrics = manifest.get("metrics") or {}
+    perf = summarize_perf(metrics)
+    if perf:
+        lines.append("")
+        lines.append("parallelism/cache:")
+        lines.append(perf)
     counters = metrics.get("counters") or {}
     gauges = metrics.get("gauges") or {}
     histograms = metrics.get("histograms") or {}

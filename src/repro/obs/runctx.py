@@ -97,6 +97,15 @@ def get_observer() -> Optional[Observer]:
     return _CURRENT
 
 
+def _deactivate() -> None:
+    # Drop the ambient observer without finalizing it.  Used by pool
+    # workers: a fork copies the parent's Observer (including open file
+    # descriptors), and letting the child write spans or events would
+    # corrupt the parent's artifacts.
+    global _CURRENT
+    _CURRENT = None
+
+
 def span(name: str, **labels: object):
     """Span on the ambient observer; a shared no-op when disabled."""
     observer = _CURRENT

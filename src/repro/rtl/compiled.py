@@ -55,6 +55,16 @@ class CompiledExpr(Expr):
         """Run the generated function on the environment."""
         return self._fn(env)
 
+    def __reduce__(self):
+        """Pickle as the original tree; recompile on load.
+
+        The generated ``_fn`` lambda is unpicklable, but it is a pure
+        function of ``original`` — so compiled modules can cross
+        process boundaries (pool workers, the on-disk artifact cache)
+        and come back simulation-identical.
+        """
+        return (CompiledExpr, (self.original,))
+
     def signals(self) -> FrozenSet[str]:
         return self.original.signals()
 

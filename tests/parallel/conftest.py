@@ -1,0 +1,25 @@
+"""Isolation for the parallel/cache tests.
+
+The pool's ambient job count and the process-wide artifact cache are
+module globals; every test here starts and ends with both reset so
+tests cannot leak parallelism or caching into each other (or into the
+rest of the suite).
+"""
+
+import pytest
+
+from repro.experiments import clear_bundle_cache
+from repro.parallel import set_cache, set_default_jobs
+
+
+@pytest.fixture(autouse=True)
+def _reset_parallel_state(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+    set_default_jobs(None)
+    set_cache(None)
+    yield
+    set_default_jobs(None)
+    set_cache(None)
+    clear_bundle_cache()

@@ -1,0 +1,101 @@
+"""Tests for cache-key fingerprints (``repro.parallel.fingerprint``)."""
+
+import numpy as np
+import pytest
+
+from repro.flow import FlowConfig
+from repro.parallel import (
+    code_version,
+    combine_fingerprints,
+    design_hash,
+    flow_config_fingerprint,
+    jobs_fingerprint,
+    stable_hash,
+    workload_fingerprint,
+)
+from tests.conftest import build_toy
+
+
+def test_stable_hash_is_deterministic():
+    value = {"a": [1, 2.5, "x"], "b": (True, None)}
+    assert stable_hash(value) == stable_hash(value)
+    assert stable_hash(value) == stable_hash(
+        {"b": (True, None), "a": [1, 2.5, "x"]})  # dict order-free
+
+
+def test_stable_hash_distinguishes_types():
+    # Type-tagged: equal-ish Python values must not collide.
+    digests = {stable_hash(v) for v in (1, 1.0, "1", True, [1], (1,))}
+    assert len(digests) == 6
+
+
+def test_stable_hash_int_list_fast_path_matches_content():
+    # >64 all-int lists take the int64 vector path; a one-word change
+    # must still change the digest.
+    words = list(range(200))
+    changed = list(words)
+    changed[137] += 1
+    assert stable_hash(words) != stable_hash(changed)
+    huge = list(words)
+    huge[0] = 1 << 80  # overflow fallback: per-item hashing
+    assert stable_hash(huge) != stable_hash(words)
+
+
+def test_stable_hash_rejects_opaque_objects():
+    with pytest.raises(TypeError, match="fingerprint"):
+        stable_hash(object())
+
+
+def test_design_hash_stable_and_structure_sensitive():
+    assert design_hash(build_toy()) == design_hash(build_toy())
+    assert design_hash(build_toy()) != design_hash(
+        build_toy(with_datapath=False))
+
+
+def test_jobs_fingerprint_tracks_content():
+    jobs = [({"n_items": 3}, {"items": [1, 2, 3]})]
+    same = [({"n_items": 3}, {"items": [1, 2, 3]})]
+    other = [({"n_items": 3}, {"items": [1, 2, 4]})]
+    assert jobs_fingerprint(jobs) == jobs_fingerprint(same)
+    assert jobs_fingerprint(jobs) != jobs_fingerprint(other)
+    assert jobs_fingerprint(jobs) != jobs_fingerprint(jobs + same)
+
+
+def test_flow_config_fingerprint_covers_every_knob():
+    base = FlowConfig()
+    assert flow_config_fingerprint(base) == \
+        flow_config_fingerprint(FlowConfig())
+    import dataclasses
+    for field in dataclasses.fields(FlowConfig):
+        current = getattr(base, field.name)
+        if isinstance(current, bool):
+            changed = FlowConfig(**{field.name: not current})
+        elif current is None:
+            changed = FlowConfig(**{field.name: 123.0})
+        else:
+            changed = FlowConfig(**{field.name: current + 1})
+        assert flow_config_fingerprint(changed) != \
+            flow_config_fingerprint(base), field.name
+
+
+def test_workload_and_code_version_parts():
+    assert workload_fingerprint("sha", 0.1) == \
+        workload_fingerprint("sha", 0.1)
+    assert workload_fingerprint("sha", 0.1) != \
+        workload_fingerprint("sha", 0.2)
+    assert workload_fingerprint("sha", 0.1) != \
+        workload_fingerprint("aes", 0.1)
+    assert "schema" in code_version()
+
+
+def test_combine_fingerprints_sensitive_to_parts_and_order():
+    assert combine_fingerprints("a", "b") == combine_fingerprints("a", "b")
+    assert combine_fingerprints("a", "b") != combine_fingerprints("b", "a")
+    assert combine_fingerprints("a") != combine_fingerprints("a", "")
+
+
+def test_ndarray_hashing_covers_dtype_and_shape():
+    a = np.arange(6, dtype=np.int64)
+    assert stable_hash(a) == stable_hash(a.copy())
+    assert stable_hash(a) != stable_hash(a.astype(np.float64))
+    assert stable_hash(a) != stable_hash(a.reshape(2, 3))
