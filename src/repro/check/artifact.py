@@ -1,0 +1,146 @@
+"""Run-artifact validation: accounting consistency of a captured run.
+
+``repro check <run-dir>`` replays the structured event stream a
+``--run-dir`` session captured (see :mod:`repro.obs`) and cross-checks
+it against itself and the manifest:
+
+* the manifest parses and its ``n_events`` matches the events file
+  (detects torn/truncated artifacts);
+* every per-job ``job`` event is self-consistent (non-negative time
+  and energy, miss flag agreeing with the recorded slack);
+* every ``episode`` summary event equals the aggregation of the job
+  events it closes over (job count, energy sum, miss count, switch
+  count);
+* the manifest's ``episode.jobs`` counter matches the job-event total.
+
+This is the offline half of the correctness story: the invariant
+checker (:mod:`repro.check.invariants`) guards live episodes, this
+module guards what was written to disk — so a run directory can be
+audited long after the process that produced it is gone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..obs import MANIFEST_NAME, read_events
+from ..units import TIME_EPS_REL
+
+#: Relative tolerance for energy sums re-accumulated from job events.
+_ENERGY_REL_TOL = 1e-6
+
+
+def _slack_contradicts_miss(event: Dict[str, object]) -> bool:
+    # The emitted slack is (release + deadline) - finish, so a missed
+    # job must have negative slack and an on-time job non-negative —
+    # up to rounding at the scale of the job's own time footprint.
+    slack = float(event.get("slack", 0.0))
+    footprint = (float(event.get("t_exec", 0.0))
+                 + float(event.get("t_slice", 0.0)))
+    tol = TIME_EPS_REL * max(abs(slack), footprint, 1e-12)
+    if event.get("missed"):
+        return slack > tol
+    return slack < -tol
+
+
+def check_run_dir(run_dir: Union[str, Path]) -> List[str]:
+    """Validate the artifacts under ``run_dir``; return violations.
+
+    Raises :class:`FileNotFoundError` when the directory holds no
+    ``manifest.json`` (not a run directory at all); every other
+    problem comes back as a human-readable violation line.
+    """
+    run_dir = Path(run_dir)
+    manifest_path = run_dir / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise FileNotFoundError(f"no {MANIFEST_NAME} under {run_dir}")
+    violations: List[str] = []
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except json.JSONDecodeError as exc:
+        return [f"manifest.json does not parse: {exc}"]
+
+    events_name = manifest.get("events_file")
+    if not events_name:
+        violations.append("manifest records no events file — the run "
+                          "captured nothing to audit")
+        return violations
+    events_path = run_dir / str(events_name)
+    if not events_path.is_file():
+        return violations + [f"manifest names {events_name} but the "
+                             f"file is missing"]
+    try:
+        events = read_events(events_path)
+    except json.JSONDecodeError as exc:
+        return violations + [f"{events_name} has a torn/corrupt line: "
+                             f"{exc}"]
+
+    if manifest.get("n_events") != len(events):
+        violations.append(
+            f"manifest says {manifest.get('n_events')} events but "
+            f"{events_name} holds {len(events)} — truncated or "
+            f"appended-to artifact")
+
+    # Accumulate job events until the episode summary that closes them.
+    open_groups: Dict[Tuple[str, str], List[Dict[str, object]]] = {}
+    total_job_events = 0
+    for position, event in enumerate(events):
+        etype = event.get("type")
+        key = (str(event.get("controller")), str(event.get("task")))
+        if etype == "job":
+            total_job_events += 1
+            open_groups.setdefault(key, []).append(event)
+            for field in ("t_slice", "t_exec", "energy"):
+                if float(event.get(field, 0.0)) < 0.0:
+                    violations.append(
+                        f"event {position}: job {event.get('index')} of "
+                        f"{key} has negative {field} "
+                        f"({event.get(field)})")
+            if _slack_contradicts_miss(event):
+                violations.append(
+                    f"event {position}: job {event.get('index')} of "
+                    f"{key} has missed={event.get('missed')} but "
+                    f"slack={event.get('slack')}")
+        elif etype == "episode":
+            jobs = open_groups.pop(key, [])
+            n_jobs = int(event.get("n_jobs", -1))
+            if n_jobs != len(jobs):
+                violations.append(
+                    f"event {position}: episode {key} claims "
+                    f"{n_jobs} jobs but {len(jobs)} job events precede it")
+                continue
+            energy = sum(float(j.get("energy", 0.0)) for j in jobs)
+            claimed = float(event.get("energy", 0.0))
+            if abs(claimed - energy) > _ENERGY_REL_TOL * max(
+                    abs(claimed), abs(energy), 1e-30):
+                violations.append(
+                    f"event {position}: episode {key} energy {claimed!r} "
+                    f"!= job-event sum {energy!r}")
+            misses = sum(1 for j in jobs if j.get("missed"))
+            if int(event.get("misses", -1)) != misses:
+                violations.append(
+                    f"event {position}: episode {key} claims "
+                    f"{event.get('misses')} misses but job events "
+                    f"show {misses}")
+            switches = sum(1 for j in jobs if j.get("switched"))
+            if int(event.get("switches", -1)) != switches:
+                violations.append(
+                    f"event {position}: episode {key} claims "
+                    f"{event.get('switches')} switches but job events "
+                    f"show {switches}")
+    for key, jobs in open_groups.items():
+        violations.append(
+            f"{len(jobs)} job event(s) for {key} never closed by an "
+            f"episode summary")
+
+    counters = (manifest.get("metrics") or {}).get("counters") or {}
+    if "episode.jobs" in counters and total_job_events:
+        if int(counters["episode.jobs"]) != total_job_events:
+            violations.append(
+                f"manifest counter episode.jobs="
+                f"{counters['episode.jobs']} but {total_job_events} "
+                f"job events were captured")
+    return violations

@@ -1,0 +1,265 @@
+"""Invariant checker: replay an episode and assert its accounting.
+
+The episode runner maintains a set of closed-form identities — the
+timeline chain, the deadline predicate, switch/slice charging rules,
+and energy decomposition.  The paper's headline numbers (near-oracle
+energy at near-zero misses) are only as trustworthy as these identities,
+so this module re-derives every one of them from the recorded
+:class:`~repro.runtime.jobs.JobOutcome` stream and reports each
+discrepancy as an :class:`InvariantViolation`.
+
+The checker is pure (no mutation, no I/O beyond ``check.*`` metrics)
+and deliberately *independent* of the runner's control flow: it
+recomputes expectations from first principles instead of calling back
+into :func:`~repro.runtime.episode.run_episode`, so a bug in the
+runner cannot hide itself.
+
+Invariant catalog (codes as emitted):
+
+* ``timeline.release`` — job *i* is released at ``i * deadline``;
+* ``timeline.start`` — ``start == max(prev_finish, release)`` (budget
+  carry-over: an overrunning job delays its successor, nothing else);
+* ``time.exec`` — ``t_exec == actual_cycles / frequency``;
+* ``time.slice`` — slice time equals ``slice_cycles / f_nominal``;
+* ``time.negative`` — no time component is negative;
+* ``deadline.miss_flag`` — ``missed`` agrees with the shared epsilon
+  predicate :func:`repro.units.deadline_missed`;
+* ``switch.charge`` — a switch is charged exactly when the level
+  changed and the scheme charges overheads; its duration is exactly
+  the configured ``t_switch``;
+* ``caps.switch_free`` / ``caps.slice_free`` — overhead-free schemes
+  (oracle, *_no_overhead) never pay switch or slice time;
+* ``energy.recompute`` — the recorded energy equals execution energy
+  plus switch-window leakage plus slice energy, re-derived from
+  :class:`~repro.dvfs.energy.JobActivity` and the energy models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..dvfs.energy import EnergyModel, JobActivity
+from ..dvfs.levels import LevelTable, OperatingPoint
+from ..obs import get_observer
+from ..runtime.episode import EpisodeResult, switch_window_energy
+from ..units import DVFS_SWITCH_TIME, TIME_EPS_REL, deadline_missed
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken identity, pinned to a job (or the whole episode)."""
+
+    code: str                 # catalog code, e.g. "timeline.start"
+    job_index: Optional[int]  # positional index; None = episode-level
+    message: str
+    expected: object = None
+    actual: object = None
+
+    def __str__(self) -> str:
+        """Render as ``code[job]: message (expected=…, actual=…)``."""
+        where = f"[job {self.job_index}]" if self.job_index is not None \
+            else "[episode]"
+        detail = ""
+        if self.expected is not None or self.actual is not None:
+            detail = f" (expected={self.expected!r}, actual={self.actual!r})"
+        return f"{self.code}{where}: {self.message}{detail}"
+
+
+class InvariantError(AssertionError):
+    """Raised by strict mode when an episode breaks its invariants."""
+
+    def __init__(self, violations: List[InvariantViolation]):
+        self.violations = list(violations)
+        lines = "\n  ".join(str(v) for v in self.violations[:20])
+        more = len(self.violations) - 20
+        suffix = f"\n  … and {more} more" if more > 0 else ""
+        super().__init__(
+            f"{len(self.violations)} episode invariant violation(s):\n"
+            f"  {lines}{suffix}"
+        )
+
+
+@dataclass(frozen=True)
+class SchemeCaps:
+    """What a scheme is entitled to charge: slice and/or overheads."""
+
+    uses_slice: bool
+    charge_overheads: bool
+
+
+#: Capability rules per scheme name.  ``uses_slice`` mirrors the
+#: controller attribute *after* construction (the overhead-free
+#: predictive variants drop their slice), so the checker can infer
+#: capabilities from an :class:`EpisodeResult` alone.
+SCHEME_CAPS = {
+    "baseline": SchemeCaps(False, True),
+    "table": SchemeCaps(False, True),
+    "pid": SchemeCaps(False, True),
+    "history": SchemeCaps(False, True),
+    "governor": SchemeCaps(False, True),
+    "prediction": SchemeCaps(True, True),
+    "prediction_boost": SchemeCaps(True, True),
+    "prediction_no_overhead": SchemeCaps(False, False),
+    "prediction_boost_no_overhead": SchemeCaps(False, False),
+    "oracle": SchemeCaps(False, False),
+}
+
+
+def capabilities_for(controller_name: str) -> Optional[SchemeCaps]:
+    """The capability rules for a scheme name, or ``None`` if unknown.
+
+    Unknown names (ad-hoc test controllers) skip capability checks but
+    still get the timeline, deadline, and energy identities.
+    """
+    return SCHEME_CAPS.get(controller_name)
+
+
+def _times_equal(a: float, b: float, scale: float,
+                 rel_eps: float) -> bool:
+    # Wall-clock comparison at the deadline's magnitude: two times are
+    # "the same instant" when they differ by rounding slop only.
+    return abs(a - b) <= rel_eps * max(scale, abs(a), abs(b))
+
+
+def _energies_equal(a: float, b: float, rel_eps: float) -> bool:
+    return abs(a - b) <= rel_eps * max(abs(a), abs(b), 1e-30)
+
+
+def check_episode(result: EpisodeResult,
+                  energy_model: Optional[EnergyModel] = None,
+                  slice_energy_model: Optional[EnergyModel] = None,
+                  levels: Optional[LevelTable] = None,
+                  t_switch: float = DVFS_SWITCH_TIME,
+                  uses_slice: Optional[bool] = None,
+                  charge_overheads: Optional[bool] = None,
+                  rel_eps: float = TIME_EPS_REL,
+                  energy_rel_eps: float = 1e-9
+                  ) -> List[InvariantViolation]:
+    """Re-derive every accounting identity of ``result`` and diff.
+
+    ``energy_model``/``slice_energy_model`` enable the energy
+    recomputation check; ``levels`` enables the first-job switch check
+    and the slice-time formula (both need the nominal point).
+    Capability flags default to the :data:`SCHEME_CAPS` entry for the
+    episode's controller name.  Returns all violations found (empty
+    list = episode is internally consistent).
+    """
+    caps = capabilities_for(result.controller)
+    if uses_slice is None:
+        uses_slice = caps.uses_slice if caps is not None else None
+    if charge_overheads is None:
+        charge_overheads = caps.charge_overheads if caps is not None else None
+
+    deadline = result.task.deadline
+    violations: List[InvariantViolation] = []
+
+    def bad(code: str, job: Optional[int], message: str,
+            expected: object = None, actual: object = None) -> None:
+        violations.append(InvariantViolation(
+            code=code, job_index=job, message=message,
+            expected=expected, actual=actual))
+
+    prev_finish = 0.0
+    prev_point: Optional[OperatingPoint] = (
+        levels.nominal if levels is not None else None)
+    nominal = levels.nominal if levels is not None else None
+
+    for i, o in enumerate(result.outcomes):
+        point = OperatingPoint(voltage=o.voltage, frequency=o.frequency,
+                               is_boost=o.boosted)
+
+        # -- timeline ------------------------------------------------
+        release = i * deadline
+        if not _times_equal(o.release, release, deadline, rel_eps):
+            bad("timeline.release", i,
+                "job released off its period boundary",
+                expected=release, actual=o.release)
+        start = max(prev_finish, o.release)
+        if not _times_equal(o.start, start, deadline, rel_eps):
+            bad("timeline.start", i,
+                "start is not max(previous finish, release) — the "
+                "timeline has a gap or an overlap",
+                expected=start, actual=o.start)
+
+        # -- time components ------------------------------------------
+        for field in ("t_slice", "t_switch", "t_exec"):
+            if getattr(o, field) < 0.0:
+                bad("time.negative", i, f"{field} is negative",
+                    expected=0.0, actual=getattr(o, field))
+        t_exec = o.job.actual_cycles / o.frequency
+        if not _times_equal(o.t_exec, t_exec, deadline, rel_eps):
+            bad("time.exec", i,
+                "t_exec does not equal actual_cycles / frequency",
+                expected=t_exec, actual=o.t_exec)
+
+        # -- deadline flag --------------------------------------------
+        missed = deadline_missed(o.finish, o.release, deadline, rel_eps)
+        if o.missed != missed:
+            bad("deadline.miss_flag", i,
+                "miss flag disagrees with the shared epsilon predicate",
+                expected=missed, actual=o.missed)
+
+        # -- switch charging ------------------------------------------
+        changed = (prev_point is not None and point != prev_point)
+        if charge_overheads is False and o.t_switch != 0.0:
+            bad("caps.switch_free", i,
+                "overhead-free scheme charged switch time",
+                expected=0.0, actual=o.t_switch)
+        elif charge_overheads and t_switch > 0.0:
+            if prev_point is not None:
+                expected_switch = t_switch if changed else 0.0
+                if o.t_switch != expected_switch:
+                    bad("switch.charge", i,
+                        "switch time charged iff the level changed, "
+                        "at exactly the configured switching time",
+                        expected=expected_switch, actual=o.t_switch)
+            elif o.t_switch not in (0.0, t_switch):
+                bad("switch.charge", i,
+                    "switch time is neither zero nor the configured "
+                    "switching time",
+                    expected=(0.0, t_switch), actual=o.t_switch)
+
+        # -- slice charging -------------------------------------------
+        if uses_slice is False and o.t_slice != 0.0:
+            bad("caps.slice_free", i,
+                "scheme without a prediction slice charged slice time",
+                expected=0.0, actual=o.t_slice)
+        if uses_slice and nominal is not None:
+            t_slice = o.job.slice_cycles / nominal.frequency
+            if not _times_equal(o.t_slice, t_slice, deadline, rel_eps):
+                bad("time.slice", i,
+                    "slice time does not equal slice_cycles / f_nominal",
+                    expected=t_slice, actual=o.t_slice)
+
+        # -- energy decomposition -------------------------------------
+        if energy_model is not None:
+            energy = energy_model.job_energy(o.job.activity, point,
+                                             o.t_exec)
+            energy += switch_window_energy(energy_model, point, o.t_switch)
+            recomputable = True
+            if o.t_slice > 0.0:
+                if slice_energy_model is not None and nominal is not None:
+                    slice_activity = JobActivity(cycles=o.job.slice_cycles)
+                    energy += slice_energy_model.job_energy(
+                        slice_activity, nominal, o.t_slice)
+                else:
+                    recomputable = False  # cannot price the slice
+            if recomputable and not _energies_equal(o.energy, energy,
+                                                    energy_rel_eps):
+                bad("energy.recompute", i,
+                    "recorded energy does not decompose into exec + "
+                    "switch leakage + slice energy",
+                    expected=energy, actual=o.energy)
+
+        prev_finish = o.start + o.t_slice + o.t_switch + o.t_exec
+        prev_point = point
+
+    observer = get_observer()
+    if observer is not None:
+        observer.metrics.inc("check.episodes")
+        observer.metrics.inc("check.jobs", len(result.outcomes))
+        if violations:
+            observer.metrics.inc("check.violations", len(violations))
+
+    return violations

@@ -9,7 +9,11 @@ Commands:
 * ``predict <benchmark> [--scale S] [--show N]`` — train a predictor
   and show per-job predictions (the quickstart, from the shell);
 * ``report <run-dir>`` — render a captured observability run; without
-  a run directory, run all experiments into a markdown report.
+  a run directory, run all experiments into a markdown report;
+* ``check <run-dir>`` — audit a captured run's accounting; without a
+  run directory, re-run every (benchmark, scheme) episode under the
+  invariant checker and diff canonical traces against the goldens
+  (``--golden-dir tests/golden``, regenerate with ``--update-golden``).
 
 ``experiment``, ``predict`` and ``report`` accept ``--profile`` (print
 a stage-timing table) and ``--run-dir DIR`` (write ``manifest.json``
@@ -312,6 +316,139 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Audit a captured run directory, or freshly re-run and verify
+    every (benchmark, scheme) episode against the invariant checker
+    and (optionally) the committed golden traces."""
+    from .check import check_run_dir
+
+    if args.run:
+        try:
+            violations = check_run_dir(args.run)
+        except FileNotFoundError:
+            print(f"no run manifest under {args.run!r} — expected a "
+                  f"directory written by --run-dir (containing "
+                  f"manifest.json)", file=sys.stderr)
+            return 2
+        for line in violations:
+            print(f"VIOLATION: {line}")
+        print(f"{args.run}: "
+              + ("clean" if not violations
+                 else f"{len(violations)} violation(s)"))
+        return 1 if violations else 0
+    return _check_fresh(args)
+
+
+def _check_fresh(args: argparse.Namespace) -> int:
+    """The fresh-run half of ``repro check``: episodes + goldens."""
+    from .check import (
+        canonical_episode,
+        check_episode,
+        diff_against_golden,
+        golden_path,
+        make_golden_payload,
+        run_mutation_smoke,
+        save_golden,
+    )
+    from .experiments import default_config
+    from .experiments.runner import (
+        ALL_SCHEMES,
+        bundle_for,
+        run_scheme,
+        tech_context,
+    )
+    from .workloads import ALL_BENCHMARKS
+
+    benchmarks = args.benchmarks or list(ALL_BENCHMARKS)
+    for name in benchmarks:
+        if name not in ALL_BENCHMARKS:
+            print(f"unknown benchmark {name!r}; valid: "
+                  f"{', '.join(ALL_BENCHMARKS)}", file=sys.stderr)
+            return 2
+    schemes = args.schemes or list(ALL_SCHEMES)
+    for name in schemes:
+        if name not in ALL_SCHEMES:
+            print(f"unknown scheme {name!r}; valid: "
+                  f"{', '.join(ALL_SCHEMES)}", file=sys.stderr)
+            return 2
+    scale = args.scale if args.scale is not None \
+        else default_config().scale
+    _apply_perf_opts(args)
+    failures = 0
+    with _maybe_observe(args, "check") as obs:
+        _maybe_prewarm(tuple(benchmarks), scale)
+        for bench in benchmarks:
+            ctx = tech_context(bundle_for(bench, scale), tech=args.tech)
+            episodes = {}
+            n_violations = 0
+            for scheme in schemes:
+                result = run_scheme(ctx, scheme)
+                violations = check_episode(
+                    result,
+                    energy_model=ctx.energy_model,
+                    slice_energy_model=ctx.slice_energy_model,
+                    levels=ctx.levels,
+                    t_switch=ctx.config.t_switch,
+                )
+                for violation in violations:
+                    print(f"VIOLATION: {bench}/{args.tech}/{scheme} "
+                          f"{violation}")
+                n_violations += len(violations)
+                episodes[scheme] = canonical_episode(result)
+            failures += n_violations
+            golden_note = ""
+            payload = make_golden_payload(bench, args.tech, scale,
+                                          episodes)
+            if args.golden_dir:
+                path = golden_path(args.golden_dir, bench, args.tech)
+                if args.update_golden:
+                    save_golden(path, payload)
+                    golden_note = f", golden updated ({path})"
+                else:
+                    drifts = diff_against_golden(payload, path)
+                    if drifts is None:
+                        print(f"DRIFT: {bench}/{args.tech}: no golden "
+                              f"at {path} — generate one with "
+                              f"--update-golden")
+                        failures += 1
+                        golden_note = ", golden missing"
+                    elif drifts:
+                        for line in drifts:
+                            print(f"DRIFT: {bench}/{args.tech}: {line}")
+                        failures += len(drifts)
+                        golden_note = f", {len(drifts)} golden drift(s)"
+                    else:
+                        golden_note = ", golden match"
+            print(f"{bench}/{args.tech}: {len(schemes)} schemes, "
+                  f"{n_violations} violation(s){golden_note}")
+            if args.smoke:
+                # Seed known accounting bugs into a scheme that both
+                # switches levels and meets deadlines, and demand the
+                # checker catches every one of them.
+                caught = run_mutation_smoke(
+                    run_scheme(ctx, "history"),
+                    energy_model=ctx.energy_model,
+                    slice_energy_model=ctx.slice_energy_model,
+                    levels=ctx.levels,
+                    t_switch=ctx.config.t_switch,
+                )
+                missed = sorted(name for name, violations
+                                in caught.items() if not violations)
+                if missed:
+                    print(f"SMOKE: {bench}/{args.tech}: checker missed "
+                          f"seeded bug(s): {', '.join(missed)}")
+                    failures += len(missed)
+                else:
+                    print(f"{bench}/{args.tech}: smoke ok "
+                          f"({len(caught)} seeded bugs caught)")
+        if obs is not None:
+            _print_stage_timings(obs, args.run_dir)
+    _print_cache_stats()
+    print("check: " + ("ok" if failures == 0
+                       else f"{failures} failure(s)"))
+    return 1 if failures else 0
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     from .flow import generate_predictor
     from .units import MS
@@ -407,6 +544,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--job", type=int, default=0)
 
     p = sub.add_parser(
+        "check", parents=[obs_opts, perf_opts],
+        help="audit a run dir, or re-run episodes under the invariant "
+             "checker and diff against golden traces")
+    p.add_argument("run", nargs="?", default=None,
+                   help="a --run-dir directory to audit (omit to run "
+                        "fresh episodes under the checker)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload scale (default: REPRO_SCALE or 1.0)")
+    p.add_argument("--tech", choices=("asic", "fpga"), default="asic")
+    p.add_argument("--benchmarks", nargs="*", default=None,
+                   metavar="NAME", help="subset of benchmarks "
+                                        "(default: all seven)")
+    p.add_argument("--schemes", nargs="*", default=None, metavar="NAME",
+                   help="subset of schemes (default: all)")
+    p.add_argument("--golden-dir", default=None, metavar="DIR",
+                   help="diff canonical traces against goldens in DIR "
+                        "(e.g. tests/golden)")
+    p.add_argument("--update-golden", action="store_true",
+                   help="write fresh goldens instead of diffing "
+                        "(intentional regeneration)")
+    p.add_argument("--smoke", action="store_true",
+                   help="also seed known accounting bugs and assert "
+                        "the checker catches them")
+
+    p = sub.add_parser(
         "report", parents=[obs_opts, perf_opts],
         help="render a captured run dir, or run experiments into "
              "a markdown report")
@@ -423,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
 _HANDLERS = {
     "list": _cmd_list,
     "describe": _cmd_describe,
+    "check": _cmd_check,
     "experiment": _cmd_experiment,
     "verilog": _cmd_verilog,
     "predict": _cmd_predict,

@@ -98,10 +98,16 @@ class TableBasedController(Controller):
     @classmethod
     def from_training(cls, levels: LevelTable, t_switch: float,
                       jobs: Iterable[JobRecord]) -> "TableBasedController":
+        """Build the per-class worst-case table from training jobs."""
         table: Dict[int, float] = {}
         for job in jobs:
             key = job.coarse_param
             table[key] = max(table.get(key, 0.0), float(job.actual_cycles))
+        if not table:
+            raise ValueError(
+                "cannot build a table controller from an empty training "
+                "set — every class would silently fall back to nominal"
+            )
         return cls(levels, t_switch, table)
 
     def plan(self, job: JobRecord, budget: float) -> Plan:
@@ -203,11 +209,15 @@ class PredictiveController(Controller):
     def __init__(self, levels: LevelTable, t_switch: float,
                  margin: float = 0.05, boost: bool = False,
                  charge_overheads: bool = True):
+        # Compose the name from both flags — ``boost`` and
+        # ``charge_overheads`` are independent, so the four combinations
+        # must yield four distinct names or variants collide in
+        # SchemeSummary tables.
         name = "prediction"
         if boost:
-            name = "prediction_boost"
+            name += "_boost"
         if not charge_overheads:
-            name = "prediction_no_overhead"
+            name += "_no_overhead"
         super().__init__(name, levels, t_switch)
         self.margin = margin
         self.boost = boost
@@ -275,6 +285,7 @@ class IntervalGovernorController(Controller):
         """Return to nominal with no utilization history."""
         self._current = self.levels.nominal
         self._last_utilization = None
+        self._period = 0.0
 
     def plan(self, job: JobRecord, budget: float) -> Plan:
         """Retarget frequency from the previous interval's utilization."""

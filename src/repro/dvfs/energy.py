@@ -64,8 +64,16 @@ class EnergyModel:
         ``point`` over wall time ``duration`` seconds."""
         vr = point.voltage / self.v_nominal
         dynamic = self._dynamic_energy_1v(activity) * vr * vr
-        leakage = self._leakage_power_1v() * (vr ** LEAKAGE_EXPONENT)
-        return dynamic + leakage * duration
+        return dynamic + self.leakage_power(point) * duration
+
+    def leakage_power(self, point: OperatingPoint) -> float:
+        """Leakage power in watts while held at ``point``.
+
+        Used on its own for windows where the accelerator is powered
+        but does no work — notably the DVFS switch window, which costs
+        wall time and therefore leaks."""
+        vr = point.voltage / self.v_nominal
+        return self._leakage_power_1v() * (vr ** LEAKAGE_EXPONENT)
 
     def _dynamic_energy_1v(self, activity: JobActivity) -> float:
         raise NotImplementedError
@@ -82,7 +90,7 @@ class AsicEnergyModel(EnergyModel):
                  leakage_power: float):
         self.base_energy_per_cycle = base_energy_per_cycle
         self.block_energy_per_cycle = dict(block_energy_per_cycle)
-        self.leakage_power = leakage_power
+        self.leakage_power_1v = leakage_power
 
     @classmethod
     def from_netlist(cls, netlist: Netlist) -> "AsicEnergyModel":
@@ -105,7 +113,7 @@ class AsicEnergyModel(EnergyModel):
         return energy
 
     def _leakage_power_1v(self) -> float:
-        return self.leakage_power
+        return self.leakage_power_1v
 
 
 class FpgaEnergyModel(EnergyModel):

@@ -31,6 +31,7 @@ from . import (
     table4,
 )
 from .runner import (
+    ALL_SCHEMES,
     BenchmarkBundle,
     TechContext,
     bundle_for,
@@ -43,7 +44,7 @@ from .runner import (
 from .setup import ExperimentConfig, default_config, default_scale
 
 __all__ = [
-    "BenchmarkBundle", "ExperimentConfig", "TechContext", "ablations",
+    "ALL_SCHEMES", "BenchmarkBundle", "ExperimentConfig", "TechContext", "ablations",
     "bundle_for",
     "case_study", "charts", "clear_bundle_cache", "default_config",
     "default_scale",

@@ -265,6 +265,16 @@ def tech_context(bundle: BenchmarkBundle, tech: str = "asic",
     )
 
 
+#: Every scheme name :func:`make_controller` accepts, in the figures'
+#: presentation order.  ``repro check`` iterates this list when no
+#: explicit subset is requested.
+ALL_SCHEMES = (
+    "baseline", "table", "pid", "history", "governor",
+    "prediction", "prediction_boost", "prediction_no_overhead",
+    "prediction_boost_no_overhead", "oracle",
+)
+
+
 def make_controller(ctx: TechContext, scheme: str) -> Controller:
     """Instantiate one of the paper's schemes by name."""
     cfg = ctx.config
@@ -300,6 +310,10 @@ def make_controller(ctx: TechContext, scheme: str) -> Controller:
         return PredictiveController(ctx.levels, cfg.t_switch,
                                     margin=cfg.prediction_margin,
                                     charge_overheads=False)
+    if scheme == "prediction_boost_no_overhead":
+        return PredictiveController(ctx.levels, cfg.t_switch,
+                                    margin=cfg.prediction_margin,
+                                    boost=True, charge_overheads=False)
     if scheme == "oracle":
         return OracleController(ctx.levels)
     raise KeyError(f"unknown scheme {scheme!r}")
@@ -311,8 +325,14 @@ def _dummy_activity(cycles: int):
 
 
 def run_scheme(ctx: TechContext, scheme: str,
-               deadline: Optional[float] = None) -> EpisodeResult:
-    """Run one controller over the bundle's test jobs."""
+               deadline: Optional[float] = None,
+               strict: Optional[bool] = None) -> EpisodeResult:
+    """Run one controller over the bundle's test jobs.
+
+    ``strict`` forwards to :func:`~repro.runtime.episode.run_episode`:
+    ``True`` re-checks the episode's accounting invariants and raises
+    on any violation, ``None`` defers to ``REPRO_CHECK``.
+    """
     controller = make_controller(ctx, scheme)
     # fig18 passes a duck-typed records-only context without name/tech.
     with span("episode", benchmark=getattr(ctx, "name", "?"),
@@ -324,4 +344,5 @@ def run_scheme(ctx: TechContext, scheme: str,
             ctx.energy_model,
             slice_energy_model=ctx.slice_energy_model,
             t_switch=ctx.config.t_switch,
+            strict=strict,
         )

@@ -1,6 +1,11 @@
 """Runtime: jobs, episodes, and result aggregation."""
 
-from .episode import EpisodeResult, run_episode
+from .episode import (
+    EpisodeResult,
+    run_episode,
+    strict_checks_enabled,
+    switch_window_energy,
+)
 from .jobs import JobOutcome, JobRecord, Task
 from .soc import AcceleratorStream, SocResult, run_soc
 from .stats import SchemeSummary, average_summaries, format_table, summarize
@@ -10,5 +15,6 @@ __all__ = [
     "AcceleratorStream", "EpisodeResult", "JobOutcome", "JobRecord",
     "SchemeSummary", "SocResult", "Task", "TracePoint",
     "average_summaries", "format_table", "render_trace", "run_episode",
-    "run_soc", "sparkline", "summarize", "trace_episode",
+    "run_soc", "sparkline", "strict_checks_enabled", "summarize",
+    "switch_window_energy", "trace_episode",
 ]

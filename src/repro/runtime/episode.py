@@ -9,6 +9,7 @@ energy model — the controller only chooses levels.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
@@ -17,8 +18,34 @@ from ..obs import get_observer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from ..dvfs.controllers import Controller
-from ..units import DVFS_SWITCH_TIME
+from ..units import DVFS_SWITCH_TIME, deadline_missed
 from .jobs import JobOutcome, JobRecord, Task
+
+#: Zero-activity placeholder: running ``job_energy`` with it prices a
+#: window where the accelerator is powered but does no work (leakage
+#: only, for any energy model that follows the ``job_energy`` protocol).
+_IDLE_ACTIVITY = JobActivity(cycles=0)
+
+
+def switch_window_energy(energy_model: EnergyModel,
+                         point: "object", duration: float) -> float:
+    """Leakage energy of holding ``point`` over a DVFS switch window.
+
+    The switch costs wall time, and powered silicon leaks for all of
+    it — pricing the window as a zero-activity job charges exactly the
+    leakage term at the destination point's voltage.  Shared by
+    :func:`run_episode` and the invariant checker so their accounting
+    can never drift apart.
+    """
+    if duration <= 0.0:
+        return 0.0
+    return energy_model.job_energy(_IDLE_ACTIVITY, point, duration)
+
+
+def strict_checks_enabled() -> bool:
+    """Whether ``REPRO_CHECK`` asks for post-episode invariant checks."""
+    return os.environ.get("REPRO_CHECK", "").lower() in (
+        "1", "true", "strict")
 
 
 @dataclass
@@ -49,6 +76,11 @@ class EpisodeResult:
     def boost_count(self) -> int:
         return sum(1 for o in self.outcomes if o.boosted)
 
+    @property
+    def switch_count(self) -> int:
+        """Jobs that paid a DVFS switch (charged schemes only)."""
+        return sum(1 for o in self.outcomes if o.t_switch > 0.0)
+
     def normalized_energy(self, baseline: "EpisodeResult") -> float:
         """Energy as a fraction of a baseline run (same jobs)."""
         if baseline.n_jobs != self.n_jobs:
@@ -64,7 +96,8 @@ def run_episode(controller: "Controller",
                 task: Task,
                 energy_model: EnergyModel,
                 slice_energy_model: Optional[EnergyModel] = None,
-                t_switch: float = DVFS_SWITCH_TIME) -> EpisodeResult:
+                t_switch: float = DVFS_SWITCH_TIME,
+                strict: Optional[bool] = None) -> EpisodeResult:
     """Run ``jobs`` under ``controller`` and account time and energy.
 
     Jobs are released periodically (Fig 1 of the paper): job *i* may
@@ -75,6 +108,11 @@ def run_episode(controller: "Controller",
 
     ``slice_energy_model`` prices the prediction slice's execution (at
     nominal voltage); required when the controller runs a slice.
+
+    ``strict=True`` replays the finished episode through the invariant
+    checker (:mod:`repro.check`) and raises
+    :class:`~repro.check.InvariantError` on any accounting violation;
+    ``None`` defers to the ``REPRO_CHECK`` environment variable.
     """
     controller.reset()
     levels = controller.levels
@@ -97,12 +135,16 @@ def run_episode(controller: "Controller",
         t_switch_actual = t_switch if switch_needed else 0.0
         t_exec = job.actual_cycles / point.frequency
         total = t_slice + t_switch_actual + t_exec
-        missed = start + total > release + task.deadline
+        missed = deadline_missed(start + total, release, task.deadline)
         now = start + total
         if switch_needed:
             switch_count += 1
 
         energy = energy_model.job_energy(job.activity, point, t_exec)
+        # The switch window adds wall time, so it must add leakage too —
+        # otherwise switching is time-expensive yet energy-free and the
+        # scheme comparison under-charges switch-happy controllers.
+        energy += switch_window_energy(energy_model, point, t_switch_actual)
         if controller.uses_slice and t_slice > 0.0:
             if slice_energy_model is None:
                 raise ValueError(
@@ -158,5 +200,22 @@ def run_episode(controller: "Controller",
             switches=switch_count,
         )
 
-    return EpisodeResult(controller=controller.name, task=task,
-                         outcomes=outcomes)
+    result = EpisodeResult(controller=controller.name, task=task,
+                           outcomes=outcomes)
+    if strict is None:
+        strict = strict_checks_enabled()
+    if strict:
+        # Imported lazily: repro.check depends on this module.
+        from ..check import InvariantError, check_episode
+        violations = check_episode(
+            result,
+            energy_model=energy_model,
+            slice_energy_model=slice_energy_model,
+            levels=levels,
+            t_switch=t_switch,
+            uses_slice=controller.uses_slice,
+            charge_overheads=controller.charge_overheads,
+        )
+        if violations:
+            raise InvariantError(violations)
+    return result

@@ -38,6 +38,25 @@ FRAME_DEADLINE_60FPS = 16.7 * MS
 # DVFS switching time, conservatively set to 100 us in the paper.
 DVFS_SWITCH_TIME = 100 * US
 
+# Shared relative tolerance for wall-clock comparisons.  A job planned
+# to fit its budget *exactly* (oracle at margin 0) can come out a few
+# ULPs past the deadline after the divide/accumulate round trip
+# (``t_exec = cycles / (cycles / budget)`` plus the running-clock sum);
+# both the episode runner and the invariant checker treat overruns
+# within this fraction of the deadline as on-time.
+TIME_EPS_REL = 1e-9
+
+
+def deadline_missed(finish: float, release: float, deadline: float,
+                    rel_eps: float = TIME_EPS_REL) -> bool:
+    """Whether ``finish`` overruns ``release + deadline`` beyond rounding.
+
+    The single deadline predicate shared by :func:`repro.runtime.episode.
+    run_episode` and the invariant checker, so the two can never disagree
+    on what counts as a miss.
+    """
+    return finish - (release + deadline) > rel_eps * deadline
+
 
 def cycles_to_time(cycles: int, frequency_hz: float) -> float:
     """Convert a cycle count at ``frequency_hz`` into seconds."""

@@ -1,0 +1,58 @@
+"""Shared fixtures for the correctness-subsystem tests."""
+
+import pytest
+
+from repro.dvfs import (
+    ASIC_VOLTAGES,
+    AsicVfModel,
+    HistoryController,
+    JobActivity,
+    build_level_table,
+)
+from repro.runtime import JobRecord, Task, run_episode
+from repro.units import DVFS_SWITCH_TIME, MHZ, MS
+
+
+class FlatEnergyModel:
+    """Deterministic test double: E = cycles * V^2 + 1e-3 W leakage."""
+
+    v_nominal = 1.0
+
+    def job_energy(self, activity, point, duration):
+        vr = point.voltage
+        return activity.cycles * 1e-9 * vr * vr + 1e-3 * duration
+
+
+def job(index, cycles):
+    return JobRecord(index=index, actual_cycles=cycles,
+                     activity=JobActivity(cycles=cycles))
+
+
+TASK = Task("t", deadline=10 * MS)
+
+
+@pytest.fixture(scope="package")
+def levels():
+    return build_level_table(AsicVfModel.characterize(100 * MHZ),
+                             ASIC_VOLTAGES)
+
+
+@pytest.fixture
+def model():
+    return FlatEnergyModel()
+
+
+@pytest.fixture
+def clean_episode(levels, model):
+    """A history-controller run with level changes and on-time jobs.
+
+    The spiky workload makes the moving-average controller change
+    levels (so switch mutations apply) while most jobs stay on time
+    (so miss mutations apply) — the preconditions of
+    :func:`repro.check.run_mutation_smoke`.
+    """
+    light = int(levels.nominal.frequency * 2 * MS)
+    heavy = int(levels.nominal.frequency * 8 * MS)
+    jobs = [job(i, heavy if i % 4 == 3 else light) for i in range(12)]
+    ctrl = HistoryController(levels, DVFS_SWITCH_TIME)
+    return run_episode(ctrl, jobs, TASK, model)

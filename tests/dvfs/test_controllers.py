@@ -118,6 +118,29 @@ def test_predictive_boost_engages_when_budget_too_short(levels):
     assert plan.point.is_boost
 
 
+def test_predictive_name_covers_all_four_flag_combinations(levels):
+    """Regression: ``boost=True, charge_overheads=False`` used to
+    collide with the plain no-overhead variant, merging two schemes
+    into one row of every summary table."""
+    assert PredictiveController(levels, DVFS_SWITCH_TIME).name \
+        == "prediction"
+    assert PredictiveController(levels, DVFS_SWITCH_TIME,
+                                boost=True).name == "prediction_boost"
+    assert PredictiveController(levels, DVFS_SWITCH_TIME,
+                                charge_overheads=False).name \
+        == "prediction_no_overhead"
+    both = PredictiveController(levels, DVFS_SWITCH_TIME, boost=True,
+                                charge_overheads=False)
+    assert both.name == "prediction_boost_no_overhead"
+    assert both.boost and not both.charge_overheads
+    assert not both.uses_slice  # overhead-free variants drop the slice
+
+
+def test_table_controller_rejects_empty_training(levels):
+    with pytest.raises(ValueError, match="empty training set"):
+        TableBasedController.from_training(levels, DVFS_SWITCH_TIME, [])
+
+
 def test_pid_controller_first_job_nominal_then_adapts(levels):
     ctrl = PidController(levels, DVFS_SWITCH_TIME)
     assert ctrl.plan(job(0, 1000), TASK.deadline).point == levels.nominal

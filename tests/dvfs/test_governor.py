@@ -97,3 +97,29 @@ def test_reset_restores_nominal(levels):
     gov.observe(job(0, int(levels.nominal.frequency * 1 * MS)))
     gov.reset()
     assert gov.plan(job(1, 1), TASK.deadline).point == levels.nominal
+
+
+def test_reset_clears_stale_period(levels):
+    """Regression: ``reset()`` restored the level but left ``_period``
+    at the previous episode's budget, so an ``observe`` issued before
+    the next ``plan`` divided by a stale denominator."""
+    gov = IntervalGovernorController(levels, 100e-6)
+    gov.plan(job(0, 1), 2 * TASK.deadline)  # records a long period
+    gov.reset()
+    assert gov._period == 0.0
+    # With no recorded period, busy time is its own period: the first
+    # post-reset observation reads full utilization, not ~50%.
+    gov.observe(job(0, int(levels.nominal.frequency * 1 * MS)))
+    assert gov.plan(job(1, 1), TASK.deadline).point == levels.nominal
+
+
+def test_reset_makes_reruns_identical(levels):
+    gov = IntervalGovernorController(levels, 100e-6)
+    light = int(levels.nominal.frequency * 1.5 * MS)
+    heavy = int(levels.nominal.frequency * 15 * MS)
+    jobs = [job(i, heavy if i % 5 == 4 else light) for i in range(20)]
+    first = run_episode(gov, jobs, TASK, FlatEnergyModel())
+    second = run_episode(gov, jobs, TASK, FlatEnergyModel())
+    assert [o.frequency for o in first.outcomes] \
+        == [o.frequency for o in second.outcomes]
+    assert first.total_energy == second.total_energy

@@ -108,6 +108,78 @@ def test_lowest_meeting_selection():
     assert table.lowest_meeting(way_too_fast, allow_boost=True) is None
 
 
+def test_lowest_meeting_exact_frequency_boundary():
+    """``frequency >= f_required`` is inclusive: asking for exactly a
+    level's frequency must return that level, not the next one up."""
+    vf = AsicVfModel.characterize(250 * MHZ)
+    table = build_level_table(vf, ASIC_VOLTAGES)
+    for point in table:
+        assert table.lowest_meeting(point.frequency) == point
+    assert table.lowest_meeting(table.boost.frequency,
+                                allow_boost=True) == table.boost
+
+
+def test_select_level_exact_fit_is_feasible():
+    from repro.dvfs import select_level
+    table = LevelTable([OperatingPoint(0.7, 50 * MHZ),
+                        OperatingPoint(1.0, 100 * MHZ)])
+    budget = 10e-3
+    # f_required computes to exactly 100 MHz / exactly 50 MHz.
+    exact_nominal = select_level(table, 1_000_000, budget)
+    assert exact_nominal.feasible
+    assert exact_nominal.point == table.nominal
+    assert exact_nominal.f_required == pytest.approx(100 * MHZ)
+    exact_slowest = select_level(table, 500_000, budget)
+    assert exact_slowest.feasible
+    assert exact_slowest.point == table.slowest
+
+
+def test_select_level_infeasible_falls_back_to_fastest():
+    from repro.dvfs import select_level
+    table = LevelTable([
+        OperatingPoint(0.7, 50 * MHZ),
+        OperatingPoint(1.0, 100 * MHZ),
+        OperatingPoint(1.08, 120 * MHZ, is_boost=True),
+    ])
+    budget = 10e-3
+    # 200 MHz required: beyond even boost -> flat out, flagged.
+    without = select_level(table, 2_000_000, budget)
+    assert not without.feasible and without.point == table.nominal
+    with_boost = select_level(table, 2_000_000, budget, allow_boost=True)
+    assert not with_boost.feasible and with_boost.point == table.boost
+    # 115 MHz required: only boost reaches it.
+    rescued = select_level(table, 1_150_000, budget, allow_boost=True)
+    assert rescued.feasible and rescued.point == table.boost
+
+
+def test_select_level_overheads_can_consume_the_budget():
+    from repro.dvfs import select_level
+    table = LevelTable([OperatingPoint(1.0, 100 * MHZ)])
+    # Slice + switch eat the whole budget: required frequency is
+    # infinite, the decision infeasible — but never a ZeroDivisionError.
+    starved = select_level(table, 100, 1e-3, t_slice=0.5e-3,
+                           t_switch=0.5e-3)
+    assert not starved.feasible
+    assert starved.f_required == float("inf")
+    # A negative prediction clamps to zero cycles -> slowest level.
+    clamped = select_level(table, -42.0, 1e-3)
+    assert clamped.feasible and clamped.point == table.slowest
+
+
+def test_duplicate_frequency_table_is_deterministic():
+    """Frequency ties sort stably, so selection among duplicates is
+    deterministic: the first-listed duplicate wins ``lowest_meeting``
+    and the last-listed one is ``nominal``."""
+    first = OperatingPoint(1.0, 100 * MHZ)
+    second = OperatingPoint(0.8, 100 * MHZ)
+    table = LevelTable([first, second])
+    assert len(table) == 2
+    assert table.lowest_meeting(100 * MHZ) == first
+    assert table.lowest_meeting(99 * MHZ) == first
+    assert table.nominal == second
+    assert table.slowest == first
+
+
 def test_level_table_requires_non_boost():
     with pytest.raises(ValueError):
         LevelTable([OperatingPoint(1.08, 300 * MHZ, is_boost=True)])

@@ -7,6 +7,8 @@ from repro.dvfs import (
     AsicVfModel,
     Controller,
     JobActivity,
+    LevelTable,
+    OperatingPoint,
     OracleController,
     Plan,
     build_level_table,
@@ -17,6 +19,8 @@ from repro.runtime import (
     average_summaries,
     format_table,
     run_episode,
+    strict_checks_enabled,
+    switch_window_energy,
     summarize,
 )
 from repro.units import MHZ, MS
@@ -105,6 +109,66 @@ def test_oracle_with_carryover_still_never_misses(levels):
             for i in range(12)]
     result = run_episode(ctrl, jobs, TASK, FlatEnergyModel())
     assert result.miss_count == 0
+
+
+def test_exact_fit_jobs_are_not_spuriously_missed():
+    """Regression: jobs sized to fill their period exactly used to pick
+    up a miss around job 6 — accumulated float rounding in the running
+    wall clock pushed the finish a few ULPs past ``release + deadline``.
+    The shared epsilon predicate absorbs exactly that slop."""
+    deadline = 10 * MS
+    cycles = 999_900
+    table = LevelTable([OperatingPoint(1.0, cycles / deadline)])
+    result = run_episode(OracleController(table),
+                         [job(i, cycles) for i in range(8)],
+                         Task("exact", deadline=deadline),
+                         FlatEnergyModel())
+    assert result.miss_count == 0
+    # The fit really is exact: every budget is fully consumed.
+    for o in result.outcomes:
+        assert o.t_exec == pytest.approx(deadline, rel=1e-12)
+
+
+def test_switch_window_charges_leakage(levels):
+    ctrl = FixedController(levels, levels.slowest)
+    result = run_episode(ctrl, [job(0, 200_000), job(1, 200_000)], TASK,
+                         FlatEnergyModel(), t_switch=100e-6)
+    first, second = result.outcomes
+    # Job 0 leaves the nominal idle point: it pays the switch window
+    # and the window's leakage (FlatEnergyModel leaks 1e-3 W flat).
+    assert first.t_switch == 100e-6
+    assert second.t_switch == 0.0
+    v = levels.slowest.voltage
+    expected = 200_000 * 1e-9 * v * v + 1e-3 * (first.t_exec + 100e-6)
+    assert first.energy == pytest.approx(expected, rel=1e-12)
+    assert first.energy - second.energy == pytest.approx(1e-3 * 100e-6,
+                                                         rel=1e-9)
+
+
+def test_switch_window_energy_helper(levels):
+    model = FlatEnergyModel()
+    assert switch_window_energy(model, levels.nominal, 0.0) == 0.0
+    assert switch_window_energy(model, levels.nominal, -1.0) == 0.0
+    assert switch_window_energy(model, levels.nominal, 2e-4) \
+        == pytest.approx(1e-3 * 2e-4)
+
+
+def test_strict_mode_accepts_a_clean_episode(levels):
+    jobs = [job(i, int(levels.nominal.frequency * (2 + (i % 3)) * MS))
+            for i in range(6)]
+    result = run_episode(OracleController(levels), jobs, TASK,
+                         FlatEnergyModel(), strict=True)
+    assert result.n_jobs == 6
+
+
+def test_strict_mode_env_toggle(monkeypatch):
+    monkeypatch.delenv("REPRO_CHECK", raising=False)
+    assert not strict_checks_enabled()
+    for value in ("1", "true", "STRICT"):
+        monkeypatch.setenv("REPRO_CHECK", value)
+        assert strict_checks_enabled()
+    monkeypatch.setenv("REPRO_CHECK", "0")
+    assert not strict_checks_enabled()
 
 
 def test_summaries_and_formatting(levels):

@@ -10,8 +10,10 @@ from repro.units import (
     GHZ,
     MHZ,
     MS,
+    TIME_EPS_REL,
     US,
     cycles_to_time,
+    deadline_missed,
     format_frequency,
     format_time,
     time_to_cycles,
@@ -32,6 +34,22 @@ def test_cycles_time_roundtrip():
         cycles_to_time(10, 0.0)
     with pytest.raises(ValueError):
         time_to_cycles(1.0, -1.0)
+
+
+def test_deadline_missed_epsilon_band():
+    deadline = 10 * MS
+    # Genuinely late and genuinely early are unambiguous.
+    assert deadline_missed(deadline * 1.1, 0.0, deadline)
+    assert not deadline_missed(deadline * 0.9, 0.0, deadline)
+    # A finish a few ULPs past the boundary is rounding, not a miss ...
+    assert not deadline_missed(deadline * (1 + 1e-12), 0.0, deadline)
+    # ... but an overrun beyond the relative epsilon counts.
+    assert deadline_missed(deadline * (1 + 3e-9), 0.0, deadline)
+    # The band scales with the deadline and shifts with the release.
+    release = 7 * deadline
+    assert not deadline_missed(release + deadline * (1 + 1e-12),
+                               release, deadline)
+    assert TIME_EPS_REL == 1e-9
 
 
 def test_format_helpers():
