@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Sequence, Tuple
 
 from ..rtl.module import Module
-from ..rtl.simulator import Simulation
+from ..rtl.backend import make_simulation
 
 
 @dataclass(frozen=True)
@@ -60,7 +60,7 @@ def visibility_report(module: Module,
         (main_fsm.name, state) for state in main_fsm.dynamic_waits
     }
 
-    sim = Simulation(module, track_state_cycles=True)
+    sim = make_simulation(module, track_state_cycles=True)
     total = counter_wait = dynamic_wait = 0
     for inputs, memories in jobs:
         sim.reset()

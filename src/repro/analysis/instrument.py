@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..rtl.backend import make_simulation, resolve_backend
 from ..rtl.module import Module
 from ..rtl.netlist import Netlist
 from ..rtl.simulator import Listener, Simulation
@@ -147,22 +148,24 @@ def _simulate_job(sim: Simulation, recorder: FeatureRecorder,
     return recorder.vector(), result.cycles
 
 
-#: Per-process (module, feature_set) -> (Simulation, FeatureRecorder),
-#: so a pool worker builds its instrumented simulation once, not once
-#: per job.  Keyed by object identity: stable within one process.
-_WORKER_SIMS: Dict[Tuple[int, int], Tuple[Simulation, FeatureRecorder]] = {}
+#: Per-process (module, feature_set, backend) -> (Simulation,
+#: FeatureRecorder), so a pool worker builds its instrumented
+#: simulation once, not once per job.  Keyed by object identity:
+#: stable within one process.
+_WORKER_SIMS: Dict[Tuple[int, int, str],
+                   Tuple[Simulation, FeatureRecorder]] = {}
 
 
 def _record_worker(module: Module, feature_set: FeatureSet,
-                   max_cycles: int, ignore_unknown: bool,
+                   max_cycles: int, ignore_unknown: bool, backend: str,
                    indexed_job) -> Tuple[np.ndarray, int]:
     # pmap worker: simulate one (index, (inputs, memories)) item.
-    key = (id(module), id(feature_set))
+    key = (id(module), id(feature_set), backend)
     state = _WORKER_SIMS.get(key)
     if state is None:
         recorder = FeatureRecorder(feature_set)
-        sim = Simulation(module, listener=recorder,
-                         track_state_cycles=False)
+        sim = make_simulation(module, backend=backend, listener=recorder,
+                              track_state_cycles=False)
         _WORKER_SIMS.clear()  # only ever one live design per worker
         _WORKER_SIMS[key] = state = (sim, recorder)
     sim, recorder = state
@@ -178,6 +181,7 @@ def record_jobs(
     max_cycles: int = 200_000_000,
     ignore_unknown_inputs: bool = False,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FeatureMatrix:
     """Run ``jobs`` (port dict, memory dict pairs) on an instrumented
     simulation and collect features plus execution cycles.
@@ -190,19 +194,28 @@ def record_jobs(
     over a process pool (``workers=None`` follows the ambient
     ``--jobs``/``REPRO_JOBS`` setting).  Results keep input order and
     are bit-identical to a serial run.
+
+    ``backend`` picks the simulation kernel (``backend=None`` follows
+    the ambient ``--backend``/``REPRO_BACKEND`` setting); every backend
+    is cycle-exact, so the recorded matrix is backend-invariant.  The
+    backend is resolved here, once, so pool workers inherit the parent
+    process's choice rather than re-reading their own environment.
     """
     from ..parallel import pmap, resolve_jobs
 
+    resolved_backend = resolve_backend(backend)
     indexed = list(enumerate(jobs))
     n_workers = min(resolve_jobs(workers), max(len(indexed), 1))
     if n_workers > 1:
         fn = functools.partial(_record_worker, module, feature_set,
-                               max_cycles, ignore_unknown_inputs)
+                               max_cycles, ignore_unknown_inputs,
+                               resolved_backend)
         pairs = pmap(fn, indexed, jobs=n_workers, label="record.pmap")
     else:
         recorder = FeatureRecorder(feature_set)
-        sim = Simulation(module, listener=recorder,
-                         track_state_cycles=False)
+        sim = make_simulation(module, backend=resolved_backend,
+                              listener=recorder,
+                              track_state_cycles=False)
         pairs = [
             _simulate_job(sim, recorder, index, inputs, memories,
                           max_cycles, ignore_unknown_inputs)

@@ -97,11 +97,13 @@ def _maybe_observe(args: argparse.Namespace, command: str) -> Iterator:
 
 
 def _apply_perf_opts(args: argparse.Namespace) -> None:
-    """Install the ``--jobs`` and ``--cache-dir`` settings globally.
+    """Install the ``--jobs``/``--cache-dir``/``--backend`` settings
+    globally.
 
-    The worker count and cache become the process-wide defaults that
-    ``record_jobs``, ``lasso_path`` and ``bundle_for`` consult, so the
-    whole flow honours the flags without threading them everywhere.
+    The worker count, cache and simulation backend become the
+    process-wide defaults that ``record_jobs``, ``lasso_path``,
+    ``bundle_for`` and ``make_simulation`` consult, so the whole flow
+    honours the flags without threading them everywhere.
     """
     jobs = getattr(args, "jobs", None)
     if jobs is not None:
@@ -111,6 +113,10 @@ def _apply_perf_opts(args: argparse.Namespace) -> None:
     if cache_dir:
         from .parallel import ArtifactCache, set_cache
         set_cache(ArtifactCache(cache_dir))
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from .rtl import set_default_backend
+        set_default_backend(backend)
 
 
 def _maybe_prewarm(benchmarks, scale: Optional[float]) -> None:
@@ -165,7 +171,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_describe(args: argparse.Namespace) -> int:
     from .analysis.report import detection_report
-    from .rtl import Simulation, synthesize
+    from .rtl import make_simulation, synthesize
     from .units import MS
 
     design = get_design(args.benchmark)
@@ -174,7 +180,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     print(detection_report(module, netlist))
     if args.jobs > 0:
         workload = workload_for(design.name, scale=0.1)
-        sim = Simulation(module, track_state_cycles=False)
+        sim = make_simulation(module, track_state_cycles=False)
         times = []
         for item in workload.test[:args.jobs]:
             job = design.encode_job(item)
@@ -243,7 +249,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_wave(args: argparse.Namespace) -> int:
     """Dump a VCD waveform of one test job."""
-    from .rtl import Simulation
+    from .rtl import make_simulation
     from .rtl.wave import VcdWriter
 
     design = get_design(args.benchmark)
@@ -252,7 +258,7 @@ def _cmd_wave(args: argparse.Namespace) -> int:
     job = design.encode_job(workload.test[args.job])
     with open(args.output, "w") as handle:
         writer = VcdWriter(module, handle)
-        sim = Simulation(module, listener=writer)
+        sim = make_simulation(module, listener=writer)
         sim.load(*job.as_pair())
         result = sim.run()
         writer.finish(sim.cycle)
@@ -466,9 +472,9 @@ def _cmd_predict(args: argparse.Namespace) -> int:
           f"{package.n_selected_features} selected; slice area "
           f"{package.slice_cost.area_fraction * 100:.1f}%")
     f0 = design.nominal_frequency
-    from .rtl import Simulation
-    sim = Simulation(package.simulation_module(),
-                     track_state_cycles=False)
+    from .rtl import make_simulation
+    sim = make_simulation(package.simulation_module(),
+                          track_state_cycles=False)
     print(f"{'job':>4s} {'predicted':>10s} {'actual':>10s} {'err%':>7s}")
     for i, item in enumerate(workload.test[:args.show]):
         job = design.encode_job(item)
@@ -510,6 +516,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persist flow artifacts (bare flag: ~/.cache/repro; "
              "default: REPRO_CACHE_DIR or disabled)")
+    from .rtl import BACKENDS
+    perf_opts.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="simulation kernel: interp (tree-walking), compiled "
+             "(per-expression codegen) or stepjit (whole-module "
+             "codegen; default: REPRO_BACKEND or stepjit)")
 
     sub.add_parser("list", help="list benchmarks and experiments")
 

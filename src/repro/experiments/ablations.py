@@ -28,7 +28,7 @@ from ..model import (
     TrainingConfig,
     fit_predictor,
 )
-from ..rtl import Simulation, tech
+from ..rtl import make_simulation, tech
 from ..rtl.transform import derive_module
 from ..runtime import run_episode
 from ..slicing import build_slice
@@ -225,10 +225,10 @@ def elision_benefit(benchmark: str = "h264",
     with_e = without_e = 0
     for item in bundle.workload.test[:n_jobs]:
         job = bundle.design.encode_job(item)
-        sim = Simulation(hw_slice.module, track_state_cycles=False)
+        sim = make_simulation(hw_slice.module, track_state_cycles=False)
         sim.load(*job.as_pair())
         with_e += sim.run().cycles
-        sim = Simulation(unelided, track_state_cycles=False)
+        sim = make_simulation(unelided, track_state_cycles=False)
         sim.load(*job.as_pair())
         without_e += sim.run().cycles
     return ElisionResult(

@@ -6,7 +6,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..rtl import Simulation
+from ..rtl import make_simulation
 from ..units import MS
 from ..workloads.video import fig2_clips, generate_clip
 from .runner import bundle_for
@@ -38,7 +38,8 @@ def run(scale: Optional[float] = None,
         n_frames = max(int(round(100 * scale)), 10)
     bundle = bundle_for("h264", scale)
     f0 = bundle.design.nominal_frequency
-    sim = Simulation(bundle.package.module, track_state_cycles=False)
+    sim = make_simulation(bundle.package.module,
+                          track_state_cycles=False)
     series: Dict[str, List[float]] = {}
     for spec in fig2_clips(n_frames):
         times = []

@@ -16,7 +16,7 @@ from typing import List, Sequence
 from ..accelerators.base import AcceleratorDesign
 from ..analysis import FeatureRecorder
 from ..dvfs.energy import activity_from_run
-from ..rtl.simulator import Simulation
+from ..rtl.backend import make_simulation
 from ..runtime.jobs import JobRecord
 from .pipeline import GeneratedPredictor
 
@@ -28,8 +28,8 @@ def build_job_records(design: AcceleratorDesign,
     """Ground-truth + prediction records for a workload's jobs."""
     module = package.module
     recorder = FeatureRecorder(package.feature_set)
-    sim = Simulation(package.simulation_module(), listener=recorder,
-                     track_state_cycles=True)
+    sim = make_simulation(package.simulation_module(), listener=recorder,
+                          track_state_cycles=True)
     records: List[JobRecord] = []
     for index, item in enumerate(items):
         job = design.encode_job(item)

@@ -45,7 +45,7 @@ from ..parallel import (
     jobs_fingerprint,
     stable_hash,
 )
-from ..rtl.compiled import compile_module
+from ..rtl.backend import compiled_clone, make_simulation, resolve_backend
 from ..rtl.lint import errors_only, lint_module
 from ..rtl.module import Module
 from ..rtl.netlist import Netlist
@@ -87,8 +87,15 @@ class GeneratedPredictor:
     compiled_slice: Optional[Module] = None
 
     def simulation_module(self) -> Module:
-        """The module evaluation should simulate (compiled if built)."""
-        return self.compiled_module or self.module
+        """The module evaluation should simulate.
+
+        Backend-aware: the per-expression-compiled clone is only an
+        advantage under the ``compiled`` backend; ``interp`` wants the
+        raw trees and ``stepjit`` generates its own kernel from them.
+        """
+        if resolve_backend() == "compiled":
+            return self.compiled_module or self.module
+        return self.module
 
     @property
     def predictor(self) -> LinearPredictor:
@@ -110,8 +117,14 @@ class GeneratedPredictor:
         the online half of Fig 6.
         """
         recorder = FeatureRecorder(self.feature_set)
-        sim = Simulation(self.compiled_slice or self.hw_slice.module,
-                         listener=recorder, track_state_cycles=False)
+        backend = resolve_backend()
+        if backend == "compiled" and self.compiled_slice is not None:
+            sim = Simulation(self.compiled_slice, listener=recorder,
+                             track_state_cycles=False)
+        else:
+            sim = make_simulation(self.hw_slice.module, backend=backend,
+                                  listener=recorder,
+                                  track_state_cycles=False)
         sim.load(*job.as_pair(), ignore_unknown=True)
         result = sim.run(max_cycles=max_cycles)
         if not result.finished:
@@ -122,7 +135,7 @@ class GeneratedPredictor:
         return max(predicted, 0.0), result.cycles
 
 
-def _recorded_matrix(module: Module, compiled: Module,
+def _recorded_matrix(module: Module,
                      feature_set: FeatureSet, jobs,
                      design_name: str,
                      workers: Optional[int]) -> FeatureMatrix:
@@ -133,6 +146,10 @@ def _recorded_matrix(module: Module, compiled: Module,
     encoded job contents, and the code version — so a hit is exactly
     the matrix a fresh simulation would produce, and a warm rerun
     skips the ``record`` span (and its RTL simulation) entirely.
+
+    The simulation backend is deliberately NOT part of the key: all
+    backends are cycle-exact, so a matrix recorded under one is a
+    valid warm hit for any other (tests assert this invariance).
     """
     cache = get_cache()
     key = None
@@ -150,7 +167,7 @@ def _recorded_matrix(module: Module, compiled: Module,
                 observer.metrics.inc("flow.record.cached")
             return cached
     with span("record", design=design_name, jobs=len(jobs)):
-        matrix = record_jobs(compiled, feature_set, jobs,
+        matrix = record_jobs(module, feature_set, jobs,
                              workers=workers)
     if cache is not None:
         cache.put("feature_matrix", key, matrix)
@@ -190,10 +207,12 @@ def generate_predictor(design: AcceleratorDesign,
             netlist = synthesize(module)
         with span("detect", design=design.name):
             feature_set = discover_features(module, netlist)
-            compiled = compile_module(module)
+            # Built for every backend so bundle contents (and the
+            # prewarmed bundle cache) stay backend-invariant.
+            compiled = compiled_clone(module)
         jobs = [design.encode_job(item).as_pair()
                 for item in train_items]
-        matrix = _recorded_matrix(module, compiled, feature_set, jobs,
+        matrix = _recorded_matrix(module, feature_set, jobs,
                                   design.name, workers)
 
         with span("fit", design=design.name):
@@ -213,7 +232,7 @@ def generate_predictor(design: AcceleratorDesign,
             ]
             hw_slice = build_slice(module, selected_specs)
             cost = compute_slice_cost(netlist, hw_slice.netlist)
-            compiled_slice = compile_module(hw_slice.module)
+            compiled_slice = compiled_clone(hw_slice.module)
 
     observer = get_observer()
     if observer is not None:

@@ -85,6 +85,25 @@ def summarize_perf(metrics: Dict) -> str:
     if skipped:
         lines.append(f"  record stage skipped for {int(skipped)} "
                      f"design(s) (cached feature matrix)")
+    for backend in ("stepjit", "compiled", "interp"):
+        runs = counters.get(f"sim.{backend}.runs", 0)
+        if not runs:
+            continue
+        cycles = counters.get(f"sim.{backend}.cycles", 0.0)
+        wall = counters.get(f"sim.{backend}.wall_s", 0.0)
+        line = (f"  sim[{backend}]: {int(runs)} run(s), "
+                f"{int(cycles)} cycles")
+        if wall > 0:
+            line += f" at {cycles / wall / 1e6:.2f} Mcyc/s"
+        jumps = counters.get(f"sim.{backend}.ff_jumps", 0)
+        if jumps:
+            line += f", {int(jumps)} fast-forward jump(s)"
+        if backend == "stepjit":
+            codegen = counters.get("sim.stepjit.codegen_s")
+            if codegen:
+                line += (f"; {int(counters.get('sim.stepjit.compiles', 0))}"
+                         f" kernel(s) in {codegen * 1e3:.0f} ms")
+        lines.append(line)
     return "\n".join(lines)
 
 

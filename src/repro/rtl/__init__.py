@@ -7,6 +7,13 @@ datapath blocks); :func:`synthesize` lowers a design to a structural
 :class:`Netlist`; :class:`Simulation` executes jobs cycle-accurately.
 """
 
+from .backend import (
+    BACKENDS,
+    compiled_clone,
+    make_simulation,
+    resolve_backend,
+    set_default_backend,
+)
 from .compiled import CompiledExpr, compile_expr, compile_module
 from .counter import Counter, down_counter, up_counter
 from .dot import netlist_to_dot
@@ -31,19 +38,24 @@ from .module import DatapathBlock, Module
 from .netlist import Cell, Netlist, Provenance
 from .signals import Memory, Port, Reg, Update, Wire
 from .simulator import Listener, RunResult, Simulation
+from .stepjit import StepProgram, StepSimulation, compile_stepper
 from .synth import synthesize
 from .transform import derive_module
 from .verilog import to_verilog
 from .wave import VcdWriter
 
 __all__ = [
-    "BinOp", "Cell", "CompiledExpr", "Const", "Counter", "DatapathBlock",
+    "BACKENDS", "BinOp", "Cell", "CompiledExpr", "Const", "Counter",
+    "DatapathBlock",
     "ItemLoop", "LintFinding", "VcdWriter", "errors_only", "lint_module",
     "netlist_to_dot",
     "Expr", "Fsm", "Listener", "MemRead", "Memory", "Module", "Mux",
     "Netlist", "Port", "Provenance", "Reg", "RunResult", "Sig",
-    "Simulation", "Transition", "UnOp", "Update", "Wire", "all_of",
-    "any_of", "compile_expr", "compile_module", "derive_module",
-    "down_counter", "maximum", "minimum", "synthesize", "to_verilog",
+    "Simulation", "StepProgram", "StepSimulation", "Transition", "UnOp",
+    "Update", "Wire", "all_of",
+    "any_of", "compile_expr", "compile_module", "compile_stepper",
+    "compiled_clone", "derive_module",
+    "down_counter", "make_simulation", "maximum", "minimum",
+    "resolve_backend", "set_default_backend", "synthesize", "to_verilog",
     "up_counter", "wrap",
 ]

@@ -24,12 +24,32 @@ cycles) tractable in Python: a job becomes a few hundred FSM steps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..obs import get_observer
 from .expr import BinOp, Const, Expr, Sig
 from .fsm import Fsm, Transition
 from .module import Module
 from .signals import Update
+
+
+def record_sim_run(backend: str, cycles: int, wall_s: float,
+                   ff_jumps: int) -> None:
+    """Publish per-run ``sim.*`` kernel metrics (no-op when obs is off).
+
+    Counters per backend: ``runs``, ``cycles``, ``wall_s`` and
+    ``ff_jumps`` — enough for ``--profile`` footers to derive
+    cycles/sec and the fast-forward hit rate per kernel.
+    """
+    obs = get_observer()
+    if obs is None:
+        return
+    metrics = obs.metrics
+    metrics.inc(f"sim.{backend}.runs")
+    metrics.inc(f"sim.{backend}.cycles", float(cycles))
+    metrics.inc(f"sim.{backend}.wall_s", wall_s)
+    metrics.inc(f"sim.{backend}.ff_jumps", float(ff_jumps))
 
 
 class Listener:
@@ -71,14 +91,33 @@ class RunResult:
 
 
 class _LazyEnv(dict):
-    """Environment that computes combinational wires on demand."""
+    """Environment that computes combinational wires on demand.
+
+    One instance is reused for an entire run: ``new_cycle`` drops the
+    values memoized during the previous cycle instead of rebuilding the
+    environment from a full copy of the state dict (the old behaviour
+    cost O(|state|) per cycle).  A missing key falls back to the
+    architectural state first, then computes the named wire; either way
+    the value is cached for the remainder of the cycle.
+    """
+
+    __slots__ = ("_state", "_wires")
 
     def __init__(self, state: dict, wires: dict):
-        super().__init__(state)
+        super().__init__()
+        self._state = state
         self._wires = wires
 
+    def new_cycle(self) -> None:
+        """Invalidate everything memoized during the previous cycle."""
+        self.clear()
+
     def __missing__(self, key: str) -> int:
-        value = self._wires[key].expr.eval(self)
+        state = self._state
+        if key in state:
+            value = state[key]
+        else:
+            value = self._wires[key].expr.eval(self)
         self[key] = value
         return value
 
@@ -124,6 +163,13 @@ class _DepAnalysis:
         return self._visit(expr)
 
     def _visit(self, expr: Expr) -> DepPair:
+        original = getattr(expr, "original", None)
+        if original is not None:
+            # A CompiledExpr wrapper: classify the real tree, so the
+            # compiled backend fast-forwards exactly as often as the
+            # interpreter (a wrapped ``counter == 0`` is still a
+            # zero-compare, not an arbitrary reference).
+            expr = original
         zeroed = _zero_compared_signal(expr)
         if zeroed is not None:
             if zeroed in self._counters:
@@ -178,6 +224,13 @@ class Simulation:
         self.fast_forward = fast_forward
         self.elide = frozenset(elide or ())
         self.track_state_cycles = track_state_cycles
+        # Compiled modules carry CompiledExpr trees everywhere; the
+        # done expression is the cheapest reliable tell.
+        self._backend_name = (
+            "compiled"
+            if getattr(module.done_expr, "original", None) is not None
+            else "interp"
+        )
         self._build_static()
         self.reset()
 
@@ -185,6 +238,11 @@ class Simulation:
     def _build_static(self) -> None:
         m = self.module
         deps = _DepAnalysis(m)
+
+        # Hoisted iteration lists: ``dict.values()`` re-materialized
+        # every cycle shows up in profiles on million-cycle runs.
+        self._fsms: List[Fsm] = list(m.fsms.values())
+        self._counters: List = list(m.counters.values())
 
         self._arc_table: Dict[str, Dict[str, List[Transition]]] = {}
         self._arc_deps: Dict[Tuple[str, int], DepPair] = {}
@@ -240,6 +298,7 @@ class Simulation:
             if fsm.dynamic_waits:
                 self.state[fsm.dynbusy_signal] = 0
         self.cycle = 0
+        self.ff_jumps = 0
         self.state_cycles: Dict[Tuple[str, str], int] = {}
 
     def load(self, inputs: Optional[Dict[str, int]] = None,
@@ -267,15 +326,19 @@ class Simulation:
     # -- execution -------------------------------------------------------------
     def run(self, max_cycles: int = 200_000_000) -> RunResult:
         """Run until the module's done expression holds (or ``max_cycles``)."""
-        m = self.module
-        done_expr = m.done_expr
-        wires = m.wires
-        fsms = list(m.fsms.values())
+        done_expr = self.module.done_expr
+        fsms = self._fsms
+        env = _LazyEnv(self.state, self.module.wires)
+        start_cycle = self.cycle
+        start_jumps = self.ff_jumps
+        start = perf_counter()
+        finished = False
 
         while self.cycle < max_cycles:
-            env = _LazyEnv(self.state, wires)
+            env.new_cycle()
             if done_expr.eval(env):
-                return RunResult(self.cycle, True, dict(self.state_cycles))
+                finished = True
+                break
 
             # Phase 1: FSM arc selection (against pre-cycle state).
             fired: List[Tuple[Fsm, Transition]] = []
@@ -298,7 +361,10 @@ class Simulation:
 
             self._step_once(env, fired)
 
-        return RunResult(self.cycle, False, dict(self.state_cycles))
+        record_sim_run(self._backend_name, self.cycle - start_cycle,
+                       perf_counter() - start,
+                       self.ff_jumps - start_jumps)
+        return RunResult(self.cycle, finished, dict(self.state_cycles))
 
     def _step_once(self, env: _LazyEnv,
                    fired: List[Tuple[Fsm, Transition]]) -> None:
@@ -332,7 +398,7 @@ class Simulation:
         for upd in self._global_updates:
             if upd.cond is None or upd.cond.eval(env):
                 pending[upd.reg] = upd.value.eval(env)
-        for fsm in m.fsms.values():
+        for fsm in self._fsms:
             current = self._fsm_state[fsm.name]
             for upd in self._state_updates.get((fsm.name, current), ()):
                 if upd.cond is None or upd.cond.eval(env):
@@ -357,7 +423,7 @@ class Simulation:
         # Phase 3: commit.
         if self.track_state_cycles:
             cells = self.state_cycles
-            for fsm in m.fsms.values():
+            for fsm in self._fsms:
                 key = (fsm.name, self._fsm_state[fsm.name])
                 cells[key] = cells.get(key, 0) + 1
         for name, value in counter_next.items():
@@ -366,7 +432,7 @@ class Simulation:
             self.state[reg] = value & m.regs[reg].mask
         for fsm_name, stall in dyn_next.items():
             self._dyn_stall[fsm_name] = stall
-        for fsm in m.fsms.values():
+        for fsm in self._fsms:
             name = fsm.name
             if name in fsm_next:
                 self._fsm_state[name] = fsm_next[name]
@@ -392,7 +458,7 @@ class Simulation:
         quiescent: List[Fsm] = []  # FSMs idle for non-wait reasons
 
         # Which FSMs are parked, and on what.
-        for fsm in m.fsms.values():
+        for fsm in self._fsms:
             current = self._fsm_state[fsm.name]
             if (fsm.name, current) not in self.elide:
                 counter_name = fsm.wait_states.get(current)
@@ -428,7 +494,7 @@ class Simulation:
 
         # A parked FSM whose wait counter is not actually counting has
         # no ETA; bail rather than guess.
-        for fsm in m.fsms.values():
+        for fsm in self._fsms:
             current = self._fsm_state[fsm.name]
             if (fsm.name, current) in self.elide:
                 continue
@@ -452,7 +518,7 @@ class Simulation:
             for t in self._arc_table[fsm.name].get(current, ()):
                 if vetoed(self._arc_deps[(fsm.name, t.index)]):
                     return False
-        for c in m.counters.values():
+        for c in self._counters:
             if vetoed(self._counter_deps[c.name]):
                 return False
         for c in self._down:
@@ -478,7 +544,7 @@ class Simulation:
             self.state[c.name] = value if value > 0 else 0
         for c in ticking_up:
             self.state[c.name] = (self.state[c.name] + k * c.step) & c.mask
-        for fsm in m.fsms.values():
+        for fsm in self._fsms:
             current = self._fsm_state[fsm.name]
             if (current in fsm.dynamic_waits
                     and (fsm.name, current) not in self.elide
@@ -491,6 +557,7 @@ class Simulation:
                 key = (fsm.name, current)
                 self.state_cycles[key] = self.state_cycles.get(key, 0) + k
         self.cycle += k
+        self.ff_jumps += 1
         if self.listener is not None and self.listener.wants_cycles:
             self.listener.on_cycle(self.cycle, self.state)
         return True

@@ -3,6 +3,8 @@
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.cli import main
 from repro.dvfs import HistoryController
 from repro.obs import session
@@ -125,3 +127,19 @@ def test_committed_goldens_match_a_fresh_run(capsys):
     assert "0 violation(s)" in out
     assert "golden match" in out
     assert "smoke ok" in out
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled", "stepjit"])
+def test_committed_goldens_match_under_every_backend(backend, capsys):
+    """Backend-equivalence gate: the committed goldens predate the
+    stepjit backend, so a golden match under each ``--backend`` proves
+    episodes, energy and misses are backend-invariant end to end."""
+    from repro.rtl import set_default_backend
+
+    try:
+        assert main(["check", "--benchmarks", "aes", "--scale", "0.05",
+                     "--backend", backend,
+                     "--golden-dir", str(GOLDEN_DIR)]) == 0
+    finally:
+        set_default_backend(None)  # --backend installs a global default
+    assert "golden match" in capsys.readouterr().out
