@@ -46,11 +46,15 @@ from .invariants import (
     SchemeCaps,
     capabilities_for,
     check_episode,
+    check_stream,
 )
 from .mutations import (
     MUTATIONS,
+    STREAM_MUTATIONS,
     apply_mutation,
     run_mutation_smoke,
+    seed_double_counted_fallback_energy,
+    seed_dropped_job_on_overflow,
     seed_spurious_miss,
     seed_timeline_gap,
     seed_uncharged_switch_energy,
@@ -59,11 +63,13 @@ from .mutations import (
 __all__ = [
     "CANONICAL_SIG_DIGITS", "DEFAULT_REL_TOL", "FIELD_REL_TOL",
     "GOLDEN_SCHEMA_VERSION", "InvariantError", "InvariantViolation",
-    "MUTATIONS", "SCHEME_CAPS", "SchemeCaps", "apply_mutation",
-    "canonical_episode", "canonical_summaries", "capabilities_for",
-    "check_episode", "check_run_dir", "diff_against_golden",
-    "diff_canonical", "golden_path", "load_golden",
-    "make_golden_payload", "round_sig", "run_mutation_smoke",
-    "save_golden", "seed_spurious_miss", "seed_timeline_gap",
-    "seed_uncharged_switch_energy",
+    "MUTATIONS", "SCHEME_CAPS", "STREAM_MUTATIONS", "SchemeCaps",
+    "apply_mutation", "canonical_episode", "canonical_summaries",
+    "capabilities_for", "check_episode", "check_run_dir",
+    "check_stream", "diff_against_golden", "diff_canonical",
+    "golden_path", "load_golden", "make_golden_payload", "round_sig",
+    "run_mutation_smoke", "save_golden",
+    "seed_double_counted_fallback_energy",
+    "seed_dropped_job_on_overflow", "seed_spurious_miss",
+    "seed_timeline_gap", "seed_uncharged_switch_energy",
 ]

@@ -37,13 +37,16 @@ Invariant catalog (codes as emitted):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..dvfs.energy import EnergyModel, JobActivity
 from ..dvfs.levels import LevelTable, OperatingPoint
 from ..obs import get_observer
 from ..runtime.episode import EpisodeResult, switch_window_energy
 from ..units import DVFS_SWITCH_TIME, TIME_EPS_REL, deadline_missed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..serve.server import StreamResult
 
 
 @dataclass(frozen=True)
@@ -258,6 +261,224 @@ def check_episode(result: EpisodeResult,
     observer = get_observer()
     if observer is not None:
         observer.metrics.inc("check.episodes")
+        observer.metrics.inc("check.jobs", len(result.outcomes))
+        if violations:
+            observer.metrics.inc("check.violations", len(violations))
+
+    return violations
+
+
+def check_stream(result: "StreamResult",
+                 energy_model: Optional[EnergyModel] = None,
+                 slice_energy_model: Optional[EnergyModel] = None,
+                 levels: Optional[LevelTable] = None,
+                 t_switch: float = DVFS_SWITCH_TIME,
+                 uses_slice: Optional[bool] = None,
+                 charge_overheads: Optional[bool] = None,
+                 rel_eps: float = TIME_EPS_REL,
+                 energy_rel_eps: float = 1e-9
+                 ) -> List[InvariantViolation]:
+    """Re-derive every identity of a served stream and diff.
+
+    The serving runtime's analogue of :func:`check_episode` — the same
+    time/energy/capability identities, plus the stream-level laws the
+    batch runner never needed:
+
+    * ``stream.conservation`` — every offered job appears exactly once
+      (dense unique indices, ``len(outcomes) == n_offered``) and ends
+      in exactly one terminal state, so completed + fallback + shed
+      adds back up to offered (``stream.terminal`` flags any unknown
+      state);
+    * ``stream.timeline`` — executed jobs chain on the virtual clock:
+      ``release == arrival`` and ``start == max(prev_finish,
+      release)`` in arrival order (shed jobs do not occupy the
+      server);
+    * ``stream.shed`` — a shed job never touched the accelerator:
+      zero time, zero energy, no miss, no operating point;
+    * ``stream.fallback`` — a fallback job abandoned the prediction
+      path: no slice time, dispatched at least as fast as nominal.
+
+    Fallback jobs participate in the switch-point chain (dispatching
+    at nominal *is* a level change when the previous job ran slower)
+    and in the energy decomposition; their slice identities are the
+    degraded ones above rather than the scheme's.  Deadlines are
+    relative to each job's own arrival (``release + deadline``).
+    """
+    caps = capabilities_for(result.scheme)
+    if uses_slice is None:
+        uses_slice = caps.uses_slice if caps is not None else None
+    if charge_overheads is None:
+        charge_overheads = caps.charge_overheads if caps is not None else None
+
+    # Imported here (not at module top) to keep repro.check importable
+    # without the serve package and free of import cycles.
+    from ..serve.server import FALLBACK, SHED, TERMINAL_STATES
+
+    deadline = result.deadline
+    violations: List[InvariantViolation] = []
+
+    def bad(code: str, job: Optional[int], message: str,
+            expected: object = None, actual: object = None) -> None:
+        violations.append(InvariantViolation(
+            code=code, job_index=job, message=message,
+            expected=expected, actual=actual))
+
+    # -- conservation -------------------------------------------------
+    if len(result.outcomes) != result.n_offered:
+        bad("stream.conservation", None,
+            "outcome count does not match offered count — a job was "
+            "dropped or duplicated",
+            expected=result.n_offered, actual=len(result.outcomes))
+    indices = [o.index for o in result.outcomes]
+    if len(set(indices)) != len(indices):
+        bad("stream.conservation", None,
+            "duplicate job indices — a job terminated twice",
+            expected=len(indices), actual=len(set(indices)))
+    all_terminal = True
+    for o in result.outcomes:
+        if o.status not in TERMINAL_STATES:
+            all_terminal = False
+            bad("stream.terminal", o.index,
+                f"unknown terminal state {o.status!r}",
+                expected=TERMINAL_STATES, actual=o.status)
+    if (all_terminal
+            and len(result.outcomes) == result.n_offered
+            and (result.n_completed + result.n_fallback + result.n_shed
+                 != result.n_offered)):
+        bad("stream.conservation", None,
+            "completed + fallback + shed does not add up to offered",
+            expected=result.n_offered,
+            actual=(result.n_completed + result.n_fallback
+                    + result.n_shed))
+
+    prev_finish = 0.0
+    prev_point: Optional[OperatingPoint] = (
+        levels.nominal if levels is not None else None)
+    nominal = levels.nominal if levels is not None else None
+
+    for o in result.outcomes:
+        i = o.index
+
+        # -- release pins to the arrival instant -----------------------
+        if not _times_equal(o.release, o.arrival, deadline, rel_eps):
+            bad("stream.timeline", i,
+                "release is not the arrival instant",
+                expected=o.arrival, actual=o.release)
+
+        if o.status == SHED:
+            # -- shed jobs never touched the accelerator ---------------
+            for fname in ("t_slice", "t_switch", "t_exec", "energy",
+                          "frequency", "voltage"):
+                if getattr(o, fname) != 0.0:
+                    bad("stream.shed", i,
+                        f"shed job has nonzero {fname}",
+                        expected=0.0, actual=getattr(o, fname))
+            if o.missed:
+                bad("stream.shed", i,
+                    "shed job flagged as a deadline miss",
+                    expected=False, actual=True)
+            continue
+
+        point = OperatingPoint(voltage=o.voltage, frequency=o.frequency,
+                               is_boost=o.boosted)
+        fallback = o.status == FALLBACK
+
+        # -- timeline chain over executed jobs -------------------------
+        start = max(prev_finish, o.release)
+        if not _times_equal(o.start, start, deadline, rel_eps):
+            bad("stream.timeline", i,
+                "start is not max(previous finish, release) — the "
+                "stream timeline has a gap or an overlap",
+                expected=start, actual=o.start)
+
+        # -- time components -------------------------------------------
+        for fname in ("t_slice", "t_switch", "t_exec"):
+            if getattr(o, fname) < 0.0:
+                bad("time.negative", i, f"{fname} is negative",
+                    expected=0.0, actual=getattr(o, fname))
+        t_exec = o.job.actual_cycles / o.frequency
+        if not _times_equal(o.t_exec, t_exec, deadline, rel_eps):
+            bad("time.exec", i,
+                "t_exec does not equal actual_cycles / frequency",
+                expected=t_exec, actual=o.t_exec)
+
+        # -- deadline flag (relative to the job's own arrival) ---------
+        missed = deadline_missed(o.finish, o.release, deadline, rel_eps)
+        if o.missed != missed:
+            bad("deadline.miss_flag", i,
+                "miss flag disagrees with the shared epsilon predicate",
+                expected=missed, actual=o.missed)
+
+        # -- fallback semantics ----------------------------------------
+        if fallback:
+            if o.t_slice != 0.0:
+                bad("stream.fallback", i,
+                    "fallback job charged slice time — degraded jobs "
+                    "abandon the prediction path entirely",
+                    expected=0.0, actual=o.t_slice)
+            if nominal is not None and o.frequency < nominal.frequency:
+                bad("stream.fallback", i,
+                    "fallback job dispatched below nominal frequency",
+                    expected=nominal.frequency, actual=o.frequency)
+
+        # -- switch charging -------------------------------------------
+        changed = (prev_point is not None and point != prev_point)
+        if charge_overheads is False and o.t_switch != 0.0:
+            bad("caps.switch_free", i,
+                "overhead-free scheme charged switch time",
+                expected=0.0, actual=o.t_switch)
+        elif charge_overheads and t_switch > 0.0:
+            if prev_point is not None:
+                expected_switch = t_switch if changed else 0.0
+                if o.t_switch != expected_switch:
+                    bad("switch.charge", i,
+                        "switch time charged iff the level changed, "
+                        "at exactly the configured switching time",
+                        expected=expected_switch, actual=o.t_switch)
+            elif o.t_switch not in (0.0, t_switch):
+                bad("switch.charge", i,
+                    "switch time is neither zero nor the configured "
+                    "switching time",
+                    expected=(0.0, t_switch), actual=o.t_switch)
+
+        # -- slice charging --------------------------------------------
+        if uses_slice is False and o.t_slice != 0.0:
+            bad("caps.slice_free", i,
+                "scheme without a prediction slice charged slice time",
+                expected=0.0, actual=o.t_slice)
+        if uses_slice and not fallback and nominal is not None:
+            t_slice = o.job.slice_cycles / nominal.frequency
+            if not _times_equal(o.t_slice, t_slice, deadline, rel_eps):
+                bad("time.slice", i,
+                    "slice time does not equal slice_cycles / f_nominal",
+                    expected=t_slice, actual=o.t_slice)
+
+        # -- energy decomposition --------------------------------------
+        if energy_model is not None:
+            energy = energy_model.job_energy(o.job.activity, point,
+                                             o.t_exec)
+            energy += switch_window_energy(energy_model, point, o.t_switch)
+            recomputable = True
+            if o.t_slice > 0.0:
+                if slice_energy_model is not None and nominal is not None:
+                    slice_activity = JobActivity(cycles=o.job.slice_cycles)
+                    energy += slice_energy_model.job_energy(
+                        slice_activity, nominal, o.t_slice)
+                else:
+                    recomputable = False  # cannot price the slice
+            if recomputable and not _energies_equal(o.energy, energy,
+                                                    energy_rel_eps):
+                bad("energy.recompute", i,
+                    "recorded energy does not decompose into exec + "
+                    "switch leakage + slice energy",
+                    expected=energy, actual=o.energy)
+
+        prev_finish = o.start + o.t_slice + o.t_switch + o.t_exec
+        prev_point = point
+
+    observer = get_observer()
+    if observer is not None:
+        observer.metrics.inc("check.streams")
         observer.metrics.inc("check.jobs", len(result.outcomes))
         if violations:
             observer.metrics.inc("check.violations", len(violations))

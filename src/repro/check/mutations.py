@@ -15,11 +15,16 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
+from typing import TYPE_CHECKING
+
 from ..dvfs.energy import EnergyModel
 from ..dvfs.levels import LevelTable, OperatingPoint
 from ..runtime.episode import EpisodeResult, switch_window_energy
 from ..units import DVFS_SWITCH_TIME
-from .invariants import InvariantViolation, check_episode
+from .invariants import InvariantViolation, check_episode, check_stream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..serve.server import StreamResult
 
 
 def _rebuild(result: EpisodeResult, outcomes) -> EpisodeResult:
@@ -105,11 +110,64 @@ def apply_mutation(name: str, result: EpisodeResult,
     return mutate(result, energy_model)
 
 
+def _rebuild_stream(result: "StreamResult", outcomes) -> "StreamResult":
+    from ..serve.server import StreamResult
+    return StreamResult(
+        stream=result.stream, scheme=result.scheme,
+        deadline=result.deadline, outcomes=list(outcomes),
+        n_offered=result.n_offered, wall_s=result.wall_s,
+    )
+
+
+def seed_dropped_job_on_overflow(result: "StreamResult"
+                                 ) -> "StreamResult":
+    """Silently drop the first shed job from the outcome stream.
+
+    Models the classic admission-control bug where an overflowing
+    queue discards the job *and the bookkeeping*: the offered count
+    says it happened, the outcomes say it never did.  The checker
+    must report ``stream.conservation``.
+    """
+    from ..serve.server import SHED
+    outcomes = list(result.outcomes)
+    for i, o in enumerate(outcomes):
+        if o.status == SHED:
+            del outcomes[i]
+            return _rebuild_stream(result, outcomes)
+    raise ValueError("no shed job to drop — overload the stream first")
+
+
+def seed_double_counted_fallback_energy(result: "StreamResult"
+                                        ) -> "StreamResult":
+    """Double the first fallback job's recorded energy.
+
+    Models the degraded-path bug where the fallback dispatch charges
+    the job *and* the abandoned prediction path bills it again.  The
+    checker must report ``energy.recompute``.
+    """
+    from ..serve.server import FALLBACK
+    outcomes = list(result.outcomes)
+    for i, o in enumerate(outcomes):
+        if o.status == FALLBACK:
+            outcomes[i] = replace(o, energy=o.energy * 2.0)
+            return _rebuild_stream(result, outcomes)
+    raise ValueError("no fallback job to mutate — starve the "
+                     "prediction budget first")
+
+
+#: Serve-layer seeded bugs, applied to a clean StreamResult.
+STREAM_MUTATIONS: Dict[str, Callable[..., "StreamResult"]] = {
+    "dropped_job_on_overflow": seed_dropped_job_on_overflow,
+    "double_counted_fallback_energy": seed_double_counted_fallback_energy,
+}
+
+
 def run_mutation_smoke(result: EpisodeResult,
                        energy_model: EnergyModel,
                        slice_energy_model: Optional[EnergyModel] = None,
                        levels: Optional[LevelTable] = None,
-                       t_switch: float = DVFS_SWITCH_TIME
+                       t_switch: float = DVFS_SWITCH_TIME,
+                       stream: Optional["StreamResult"] = None
                        ) -> Dict[str, List[InvariantViolation]]:
     """Seed every registered bug into ``result`` and check each.
 
@@ -118,6 +176,11 @@ def run_mutation_smoke(result: EpisodeResult,
     (and ``repro check --smoke``) asserts exactly that.  ``result``
     itself must be clean and must contain at least one switched and
     one on-time job, so every mutation is applicable.
+
+    ``stream`` additionally runs the serve-layer mutations
+    (:data:`STREAM_MUTATIONS`) through :func:`check_stream`; the
+    stream must be clean and contain at least one shed and one
+    fallback job so both bugs are seedable.
     """
     report: Dict[str, List[InvariantViolation]] = {}
     for name in MUTATIONS:
@@ -129,4 +192,13 @@ def run_mutation_smoke(result: EpisodeResult,
             levels=levels,
             t_switch=t_switch,
         )
+    if stream is not None:
+        for name, mutate in STREAM_MUTATIONS.items():
+            report[name] = check_stream(
+                mutate(stream),
+                energy_model=energy_model,
+                slice_energy_model=slice_energy_model,
+                levels=levels,
+                t_switch=t_switch,
+            )
     return report

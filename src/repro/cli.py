@@ -13,7 +13,13 @@ Commands:
 * ``check <run-dir>`` — audit a captured run's accounting; without a
   run directory, re-run every (benchmark, scheme) episode under the
   invariant checker and diff canonical traces against the goldens
-  (``--golden-dir tests/golden``, regenerate with ``--update-golden``).
+  (``--golden-dir tests/golden``, regenerate with ``--update-golden``);
+* ``serve --benchmark <name> --rate R --duration S`` — run the online
+  serving runtime: seeded arrival streams over one or more
+  accelerators, per-job slice prediction and level selection, bounded
+  admission, fallback counting, and a stream-invariant check at the
+  end (``--virtual`` drives the simulated clock flat-out instead of
+  pacing arrivals against the wall clock).
 
 ``experiment``, ``predict`` and ``report`` accept ``--profile`` (print
 a stage-timing table) and ``--run-dir DIR`` (write ``manifest.json``
@@ -430,13 +436,16 @@ def _check_fresh(args: argparse.Namespace) -> int:
             if args.smoke:
                 # Seed known accounting bugs into a scheme that both
                 # switches levels and meets deadlines, and demand the
-                # checker catches every one of them.
+                # checker catches every one of them.  The serve-layer
+                # mutations ride along on an engineered stream that
+                # has fallback and shed jobs present.
                 caught = run_mutation_smoke(
                     run_scheme(ctx, "history"),
                     energy_model=ctx.energy_model,
                     slice_energy_model=ctx.slice_energy_model,
                     levels=ctx.levels,
                     t_switch=ctx.config.t_switch,
+                    stream=_smoke_stream(ctx),
                 )
                 missed = sorted(name for name, violations
                                 in caught.items() if not violations)
@@ -452,6 +461,142 @@ def _check_fresh(args: argparse.Namespace) -> int:
     _print_cache_stats()
     print("check: " + ("ok" if failures == 0
                        else f"{failures} failure(s)"))
+    return 1 if failures else 0
+
+
+def _smoke_stream(ctx):
+    """An engineered served stream with completed, fallback and shed
+    jobs all present — the preconditions of the serve-layer mutations
+    in :func:`repro.check.run_mutation_smoke`."""
+    from dataclasses import replace
+
+    from .experiments.runner import make_controller
+    from .serve import (
+        AcceleratorStream,
+        RecordPredictor,
+        ServeConfig,
+        serve_stream,
+        stream_from_records,
+    )
+
+    # Strip every third prediction (forces fallbacks) and fire all
+    # arrivals at t=0 against a depth-2 queue (forces shedding).
+    records = [
+        replace(r, predicted_cycles=None) if i % 3 == 0 else r
+        for i, r in enumerate(ctx.bundle.test_records[:12])
+    ]
+    stream = AcceleratorStream(
+        ctx.name, make_controller(ctx, "prediction"),
+        ctx.energy_model, ctx.slice_energy_model,
+        predictor=RecordPredictor(),
+        config=ServeConfig(deadline=ctx.config.deadline,
+                           t_switch=ctx.config.t_switch,
+                           queue_depth=2))
+    jobs = stream_from_records(records, [0.0] * len(records))
+    return serve_stream(stream, jobs)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the online serving runtime over live job streams."""
+    from .check import check_stream
+    from .experiments.runner import (
+        ALL_SCHEMES,
+        bundle_for,
+        make_controller,
+        tech_context,
+    )
+    from .serve import (
+        AcceleratorStream,
+        LoadReport,
+        RecordPredictor,
+        ServeConfig,
+        SlicePredictor,
+        build_stream_jobs,
+        burst_arrivals,
+        poisson_arrivals,
+        serve_streams,
+    )
+    from .units import MS
+    from .workloads import ALL_BENCHMARKS
+
+    for name in args.benchmark:
+        if name not in ALL_BENCHMARKS:
+            print(f"unknown benchmark {name!r}; valid: "
+                  f"{', '.join(ALL_BENCHMARKS)}", file=sys.stderr)
+            return 2
+    if args.scheme not in ALL_SCHEMES:
+        print(f"unknown scheme {args.scheme!r}; valid: "
+              f"{', '.join(ALL_SCHEMES)}", file=sys.stderr)
+        return 2
+    duration, n_jobs = args.duration, args.n_jobs
+    if duration is None and n_jobs is None:
+        duration = 2.0
+    if args.cache_dir:
+        from .parallel import ArtifactCache, set_cache
+        set_cache(ArtifactCache(args.cache_dir))
+    if args.backend is not None:
+        from .rtl import set_default_backend
+        set_default_backend(args.backend)
+
+    failures = 0
+    with _maybe_observe(args, "serve " + " ".join(args.benchmark)) as obs:
+        streams = []
+        for i, bench in enumerate(args.benchmark):
+            bundle = bundle_for(bench, args.scale)
+            ctx = tech_context(bundle, tech=args.tech)
+            controller = make_controller(ctx, args.scheme)
+            predictor = (SlicePredictor(bundle.package)
+                         if args.predictor == "slice"
+                         else RecordPredictor())
+            config = ServeConfig(
+                deadline=(args.deadline_ms * MS
+                          if args.deadline_ms is not None
+                          else ctx.config.deadline),
+                t_switch=ctx.config.t_switch,
+                queue_depth=args.queue_depth,
+                batch_max=args.batch,
+                prediction_budget=(args.prediction_budget_ms * MS
+                                   if args.prediction_budget_ms
+                                   is not None else None),
+            )
+            if args.arrival == "burst":
+                arrivals = burst_arrivals(
+                    args.rate, duration if duration is not None
+                    else n_jobs / args.rate, seed=args.seed + i)
+            else:
+                arrivals = poisson_arrivals(
+                    args.rate, duration=duration, n_jobs=n_jobs,
+                    seed=args.seed + i)
+            jobs = build_stream_jobs(
+                bundle, arrivals,
+                with_inputs=(args.predictor == "slice"))
+            streams.append((AcceleratorStream(
+                bench, controller, ctx.energy_model,
+                ctx.slice_energy_model, predictor=predictor,
+                config=config), jobs))
+        results = serve_streams(streams, realtime=not args.virtual)
+        for (stream, _), result in zip(streams, results):
+            violations = check_stream(
+                result,
+                energy_model=stream.energy_model,
+                slice_energy_model=stream.slice_energy_model,
+                levels=stream.levels,
+                t_switch=stream.config.t_switch,
+                uses_slice=stream.controller.uses_slice,
+                charge_overheads=stream.controller.charge_overheads,
+            )
+            for violation in violations:
+                print(f"VIOLATION: {result.stream}/{result.scheme} "
+                      f"{violation}")
+            failures += len(violations)
+            report = LoadReport.from_result(result, mode="open",
+                                            offered_rate=args.rate)
+            print(report.describe())
+        if obs is not None:
+            _print_stage_timings(obs, args.run_dir)
+    _print_cache_stats()
+    print("serve: " + ("ok" if failures == 0
+                       else f"{failures} violation(s)"))
     return 1 if failures else 0
 
 
@@ -581,6 +726,53 @@ def build_parser() -> argparse.ArgumentParser:
                         "the checker catches them")
 
     p = sub.add_parser(
+        "serve", parents=[obs_opts],
+        help="run the online serving runtime over live job streams")
+    p.add_argument("--benchmark", nargs="+", required=True,
+                   metavar="NAME",
+                   help="benchmark(s) to stream (one stream each)")
+    p.add_argument("--rate", type=float, default=100.0,
+                   help="offered arrival rate in jobs/s (default 100)")
+    p.add_argument("--duration", type=float, default=None, metavar="S",
+                   help="stream length in seconds (default 2 when "
+                        "--jobs is not given)")
+    p.add_argument("--jobs", dest="n_jobs", type=int, default=None,
+                   metavar="N",
+                   help="total jobs to offer (alternative to "
+                        "--duration)")
+    p.add_argument("--scheme", default="prediction",
+                   help="DVFS scheme per stream (default: prediction)")
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="workload scale for the bundles (default 0.05)")
+    p.add_argument("--tech", choices=("asic", "fpga"), default="asic")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-job deadline in ms (default: the "
+                        "experiment config's 16.7 ms)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="admission bound on the virtual backlog")
+    p.add_argument("--batch", type=int, default=8,
+                   help="micro-batch size cap (default 8)")
+    p.add_argument("--arrival", choices=("poisson", "burst"),
+                   default="poisson")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--predictor", choices=("slice", "record"),
+                   default="slice",
+                   help="slice = simulate the prediction slice per "
+                        "job; record = replay precomputed predictions")
+    p.add_argument("--prediction-budget-ms", type=float, default=None,
+                   help="wall-clock budget per decision; overruns "
+                        "fall back to max frequency")
+    p.add_argument("--virtual", action="store_true",
+                   help="drive the virtual clock flat-out instead of "
+                        "pacing arrivals against the wall clock")
+    p.add_argument("--cache-dir", nargs="?", const=DEFAULT_CACHE_DIR,
+                   default=None, metavar="DIR",
+                   help="persist flow artifacts (bare flag: "
+                        "~/.cache/repro)")
+    p.add_argument("--backend", choices=BACKENDS, default=None,
+                   help="simulation kernel for slice prediction")
+
+    p = sub.add_parser(
         "report", parents=[obs_opts, perf_opts],
         help="render a captured run dir, or run experiments into "
              "a markdown report")
@@ -601,6 +793,7 @@ _HANDLERS = {
     "experiment": _cmd_experiment,
     "verilog": _cmd_verilog,
     "predict": _cmd_predict,
+    "serve": _cmd_serve,
     "report": _cmd_report,
     "lint": _cmd_lint,
     "wave": _cmd_wave,

@@ -104,6 +104,18 @@ def summarize_perf(metrics: Dict) -> str:
                 line += (f"; {int(counters.get('sim.stepjit.compiles', 0))}"
                          f" kernel(s) in {codegen * 1e3:.0f} ms")
         lines.append(line)
+    offered = counters.get("serve.offered", 0)
+    if offered:
+        line = (f"  serve: {int(offered)} offered, "
+                f"{int(counters.get('serve.completed', 0))} completed, "
+                f"{int(counters.get('serve.fallback', 0))} fallback, "
+                f"{int(counters.get('serve.shed', 0))} shed")
+        decision = (metrics.get("histograms") or {}).get(
+            "serve.decision_ms") or {}
+        if decision.get("count"):
+            line += (f"; decision p50/p99 "
+                     f"{decision['p50']:.3g}/{decision['p99']:.3g} ms")
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -1,0 +1,45 @@
+"""Online serving runtime: job streams, admission, live prediction.
+
+The paper's predictor is a per-job *online* mechanism; this package
+runs it that way.  :mod:`~repro.serve.stream` turns the workload
+generators into seeded arrival processes, :mod:`~repro.serve.server`
+serves each accelerator stream through a bounded admission queue with
+micro-batched slice prediction and graceful fallback, and
+:mod:`~repro.serve.loadgen` measures it all open- or closed-loop.
+``repro serve`` fronts the package from the CLI; stream-level
+invariants live in :func:`repro.check.check_stream`.
+"""
+
+from .loadgen import LoadReport, percentile, run_closed_loop, run_open_loop
+from .server import (
+    COMPLETED,
+    FALLBACK,
+    SHED,
+    TERMINAL_STATES,
+    AcceleratorStream,
+    RecordPredictor,
+    ServeConfig,
+    SlicePredictor,
+    StreamOutcome,
+    StreamResult,
+    serve_stream,
+    serve_streams,
+)
+from .stream import (
+    StreamJob,
+    build_stream_jobs,
+    burst_arrivals,
+    poisson_arrivals,
+    stream_from_records,
+    trace_replay,
+)
+
+__all__ = [
+    "COMPLETED", "FALLBACK", "SHED", "TERMINAL_STATES",
+    "AcceleratorStream", "LoadReport", "RecordPredictor", "ServeConfig",
+    "SlicePredictor", "StreamJob", "StreamOutcome", "StreamResult",
+    "build_stream_jobs", "burst_arrivals", "percentile",
+    "poisson_arrivals", "run_closed_loop", "run_open_loop",
+    "serve_stream", "serve_streams", "stream_from_records",
+    "trace_replay",
+]

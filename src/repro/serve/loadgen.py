@@ -1,0 +1,164 @@
+"""Load generation and latency reporting for the serving runtime.
+
+Two classic load shapes:
+
+* **open loop** — arrivals follow a fixed-rate process regardless of
+  how the server keeps up (clients do not wait for each other); this
+  is the shape that exposes queueing collapse and shedding;
+* **closed loop** — a fixed number of concurrent "clients" each submit
+  their next job the instant the previous one finishes (on the
+  virtual clock), so offered load self-adjusts to service capacity.
+
+Both produce a :class:`LoadReport`: offered/achieved rates, exact
+decision-latency percentiles (p50/p99/max over the recorded per-job
+wall-clock decisions), and fallback/shed/miss rates — the fields
+``BENCH_serve.json`` publishes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..runtime.jobs import JobRecord
+from .server import AcceleratorStream, StreamResult, serve_stream
+from .stream import StreamJob, poisson_arrivals, stream_from_records
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile of an ascending sample."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q / 100.0 * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One load-generation run, reduced to its headline numbers."""
+
+    stream: str
+    scheme: str
+    mode: str                   # "open" | "closed"
+    n_offered: int
+    n_completed: int
+    n_fallback: int
+    n_shed: int
+    n_missed: int
+    offered_rate: float         # jobs/s offered (virtual clock)
+    achieved_rate: float        # executed jobs/s (virtual clock)
+    wall_rate: float            # executed jobs/s (wall clock)
+    p50_decision_ms: float
+    p99_decision_ms: float
+    max_decision_ms: float
+    fallback_rate: float
+    shed_rate: float
+    miss_rate: float
+    wall_s: float
+
+    def to_dict(self) -> Dict:
+        """JSON-ready field dict; ``LoadReport(**d)`` round-trips."""
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_result(cls, result: StreamResult, mode: str,
+                    offered_rate: Optional[float] = None) -> "LoadReport":
+        executed = result.executed
+        latencies = result.decision_latencies()
+        makespan = result.makespan
+        arrivals_span = (max(o.arrival for o in result.outcomes)
+                         if result.outcomes else 0.0)
+        if offered_rate is None:
+            offered_rate = (result.n_offered / arrivals_span
+                            if arrivals_span > 0 else 0.0)
+        return cls(
+            stream=result.stream, scheme=result.scheme, mode=mode,
+            n_offered=result.n_offered,
+            n_completed=result.n_completed,
+            n_fallback=result.n_fallback,
+            n_shed=result.n_shed,
+            n_missed=result.miss_count,
+            offered_rate=offered_rate,
+            achieved_rate=(len(executed) / makespan
+                           if makespan > 0 else 0.0),
+            wall_rate=(len(executed) / result.wall_s
+                       if result.wall_s > 0 else 0.0),
+            p50_decision_ms=percentile(latencies, 50.0) * 1e3,
+            p99_decision_ms=percentile(latencies, 99.0) * 1e3,
+            max_decision_ms=(latencies[-1] * 1e3 if latencies else 0.0),
+            fallback_rate=result.fallback_rate,
+            shed_rate=result.shed_rate,
+            miss_rate=(result.miss_count / len(executed)
+                       if executed else 0.0),
+            wall_s=result.wall_s,
+        )
+
+    def describe(self) -> str:
+        """One human line per run, for CLI footers."""
+        return (f"{self.stream}/{self.scheme} [{self.mode}]: "
+                f"{self.n_offered} offered at "
+                f"{self.offered_rate:.0f}/s, "
+                f"{self.n_completed} completed, "
+                f"{self.n_fallback} fallback, {self.n_shed} shed; "
+                f"decision p50/p99 {self.p50_decision_ms:.3f}/"
+                f"{self.p99_decision_ms:.3f} ms; "
+                f"{self.miss_rate * 100:.1f}% missed")
+
+
+def run_open_loop(stream: AcceleratorStream,
+                  records: Sequence[JobRecord],
+                  rate: float,
+                  duration: Optional[float] = None,
+                  n_jobs: Optional[int] = None,
+                  seed: int = 0,
+                  realtime: bool = False) -> LoadReport:
+    """Offer a Poisson stream at ``rate`` jobs/s and report."""
+    arrivals = poisson_arrivals(rate, duration=duration, n_jobs=n_jobs,
+                                seed=seed)
+    jobs = stream_from_records(records, arrivals)
+    result = serve_stream(stream, jobs, realtime=realtime)
+    return LoadReport.from_result(result, mode="open",
+                                  offered_rate=rate)
+
+
+def run_closed_loop(stream: AcceleratorStream,
+                    records: Sequence[JobRecord],
+                    n_jobs: int,
+                    concurrency: int = 1) -> LoadReport:
+    """Closed-loop generation: ``concurrency`` self-pacing clients.
+
+    Each client submits its next job the instant its previous one
+    finishes on the virtual clock, so arrivals adapt to service
+    capacity — offered rate converges to throughput and nothing
+    sheds unless ``concurrency`` exceeds the queue depth.  Runs on
+    the virtual clock only (a wall-paced closed loop would just
+    measure host speed).
+    """
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    # Client k's next submission instant, as a min-heap of
+    # (ready_time, client).  FIFO service keeps finishes monotone, so
+    # popping the earliest-ready client yields sorted arrivals.
+    ready = [(0.0, k) for k in range(concurrency)]
+    heapq.heapify(ready)
+    submitted = 0
+    while submitted < n_jobs:
+        arrival, client = heapq.heappop(ready)
+        record = replace(records[submitted % len(records)],
+                         index=submitted)
+        sjob = StreamJob(index=submitted, record=record,
+                         arrival=arrival)
+        stream.offer(sjob)
+        stream.drain()  # closed loop: the client waits for its finish
+        outcome = stream.outcomes[-1]
+        finish = outcome.finish if outcome.executed else arrival
+        heapq.heappush(ready, (max(finish, arrival), client))
+        submitted += 1
+    result = stream.result()
+    return LoadReport.from_result(result, mode="closed")

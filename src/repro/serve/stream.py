@@ -1,0 +1,155 @@
+"""Job sources for the online serving runtime.
+
+The offline flow evaluates controllers over a *batch* of
+:class:`~repro.runtime.jobs.JobRecord` objects released on rigid
+period boundaries.  A serving runtime instead sees jobs *arrive*: the
+stream layer pins each record to an arrival instant drawn from a
+seeded arrival process — Poisson (open-loop steady traffic), bursty
+(on/off phases at the same average rate), or the replay of a recorded
+trace — over the existing workload generators, so every stream is
+reproducible from ``(benchmark, scale, rate, seed)`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from ..runtime.jobs import JobRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..accelerators.base import JobInput
+    from ..experiments.runner import BenchmarkBundle
+
+
+@dataclass(frozen=True)
+class StreamJob:
+    """One job of a stream: a record plus its arrival instant.
+
+    ``job_input`` carries the raw encoded inputs when the stream will
+    predict online (the slice simulation needs them); record-replay
+    streams leave it ``None`` and reuse the precomputed prediction.
+    """
+
+    index: int
+    record: JobRecord
+    arrival: float
+    job_input: Optional["JobInput"] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0.0:
+            raise ValueError("arrival time cannot be negative")
+
+
+def poisson_arrivals(rate: float, duration: Optional[float] = None,
+                     n_jobs: Optional[int] = None,
+                     seed: int = 0) -> List[float]:
+    """Arrival instants of a Poisson process at ``rate`` jobs/s.
+
+    Bounded by ``duration`` seconds or by ``n_jobs`` arrivals
+    (exactly one must be given).  Deterministic in ``seed``.
+    """
+    if rate <= 0.0:
+        raise ValueError("rate must be positive")
+    if (duration is None) == (n_jobs is None):
+        raise ValueError("give exactly one of duration= or n_jobs=")
+    rng = np.random.default_rng(seed)
+    times: List[float] = []
+    now = 0.0
+    while True:
+        now += float(rng.exponential(1.0 / rate))
+        if duration is not None and now >= duration:
+            return times
+        times.append(now)
+        if n_jobs is not None and len(times) >= n_jobs:
+            return times
+
+
+def burst_arrivals(rate: float, duration: float, seed: int = 0,
+                   period: float = 1.0, duty: float = 0.3) -> List[float]:
+    """On/off bursty arrivals averaging ``rate`` jobs/s.
+
+    Each ``period`` starts with an *on* phase lasting ``duty`` of the
+    period during which arrivals are Poisson at ``rate / duty``; the
+    rest of the period is silent.  The long-run average rate is
+    ``rate``, but the instantaneous rate during a burst is
+    ``1 / duty`` times higher — the admission-queue stress case.
+    """
+    if not 0.0 < duty <= 1.0:
+        raise ValueError("duty must be in (0, 1]")
+    if period <= 0.0:
+        raise ValueError("period must be positive")
+    # Generate a plain Poisson process on the compressed "busy clock"
+    # (total on-time), then expand each instant back onto the wall
+    # clock: busy time u falls in period u // on_per_period, at offset
+    # u % on_per_period from that period's start.
+    on_per_period = period * duty
+    busy = poisson_arrivals(rate / duty, duration=duration * duty,
+                            seed=seed)
+    times = []
+    for u in busy:
+        k = int(u // on_per_period)
+        wall = k * period + (u - k * on_per_period)
+        if wall >= duration:
+            break
+        times.append(wall)
+    return times
+
+
+def trace_replay(times: Sequence[float], speed: float = 1.0) -> List[float]:
+    """Replay a recorded arrival trace, optionally time-compressed.
+
+    ``speed > 1`` compresses the trace (arrivals come faster); the
+    result is sorted and validated so it can feed a stream directly.
+    """
+    if speed <= 0.0:
+        raise ValueError("speed must be positive")
+    replayed = sorted(float(t) / speed for t in times)
+    if replayed and replayed[0] < 0.0:
+        raise ValueError("trace contains negative arrival times")
+    return replayed
+
+
+def stream_from_records(records: Sequence[JobRecord],
+                        arrivals: Sequence[float],
+                        inputs: Optional[Sequence["JobInput"]] = None
+                        ) -> List[StreamJob]:
+    """Pin arrival times to records, cycling records as needed.
+
+    The stream is re-indexed 0..n-1 (records keep their payload but
+    take the stream position as ``index``) so stream invariants can
+    key on a dense, unique index space.
+    """
+    if not records:
+        raise ValueError("cannot build a stream from zero records")
+    if inputs is not None and len(inputs) != len(records):
+        raise ValueError("inputs must pair 1:1 with records")
+    jobs: List[StreamJob] = []
+    for i, arrival in enumerate(sorted(arrivals)):
+        k = i % len(records)
+        record = replace(records[k], index=i)
+        jobs.append(StreamJob(
+            index=i, record=record, arrival=float(arrival),
+            job_input=inputs[k] if inputs is not None else None,
+        ))
+    return jobs
+
+
+def build_stream_jobs(bundle: "BenchmarkBundle",
+                      arrivals: Sequence[float],
+                      with_inputs: bool = False) -> List[StreamJob]:
+    """A stream over a benchmark bundle's test workload.
+
+    Cycles the bundle's precomputed test records across the arrival
+    instants; ``with_inputs=True`` also attaches the encoded job
+    inputs so a :class:`~repro.serve.server.SlicePredictor` can run
+    the prediction slice online.
+    """
+    inputs = None
+    if with_inputs:
+        inputs = [bundle.design.encode_job(item)
+                  for item in bundle.workload.test]
+        inputs = inputs[:len(bundle.test_records)]
+    return stream_from_records(bundle.test_records, arrivals, inputs)

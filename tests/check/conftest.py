@@ -1,40 +1,23 @@
-"""Shared fixtures for the correctness-subsystem tests."""
+"""Shared fixtures for the correctness-subsystem tests.
+
+The energy-model double, job factory and task now live in the
+top-level ``tests/conftest.py``; this module re-exports them so the
+suite keeps its ``from .conftest import TASK, job`` idiom.
+"""
 
 import pytest
 
-from repro.dvfs import (
-    ASIC_VOLTAGES,
-    AsicVfModel,
-    HistoryController,
-    JobActivity,
-    build_level_table,
-)
-from repro.runtime import JobRecord, Task, run_episode
-from repro.units import DVFS_SWITCH_TIME, MHZ, MS
+from repro.dvfs import HistoryController
+from repro.runtime import run_episode
+from repro.units import DVFS_SWITCH_TIME, MS
+from tests.conftest import TASK, FlatEnergyModel, job
 
-
-class FlatEnergyModel:
-    """Deterministic test double: E = cycles * V^2 + 1e-3 W leakage."""
-
-    v_nominal = 1.0
-
-    def job_energy(self, activity, point, duration):
-        vr = point.voltage
-        return activity.cycles * 1e-9 * vr * vr + 1e-3 * duration
-
-
-def job(index, cycles):
-    return JobRecord(index=index, actual_cycles=cycles,
-                     activity=JobActivity(cycles=cycles))
-
-
-TASK = Task("t", deadline=10 * MS)
+__all__ = ["TASK", "FlatEnergyModel", "job"]
 
 
 @pytest.fixture(scope="package")
-def levels():
-    return build_level_table(AsicVfModel.characterize(100 * MHZ),
-                             ASIC_VOLTAGES)
+def levels(asic_levels):
+    return asic_levels
 
 
 @pytest.fixture

@@ -133,3 +133,83 @@ def toy_workload(n_jobs: int, seed: int):
             for _ in range(n)
         ])
     return jobs
+
+
+# ---------------------------------------------------------------------
+# Shared runtime/DVFS doubles and expensive session-scoped builds.
+# Suites that previously grew private copies (tests/check, tests/flow,
+# tests/parallel, tests/integration) import or request these instead.
+
+class FlatEnergyModel:
+    """Deterministic test double: E = cycles * V^2 + 1e-3 W leakage."""
+
+    v_nominal = 1.0
+
+    def job_energy(self, activity, point, duration):
+        vr = point.voltage
+        return activity.cycles * 1e-9 * vr * vr + 1e-3 * duration
+
+
+def job(index: int, cycles: int):
+    """A bare JobRecord whose activity matches its cycle count."""
+    from repro.dvfs import JobActivity
+    from repro.runtime import JobRecord
+    return JobRecord(index=index, actual_cycles=cycles,
+                     activity=JobActivity(cycles=cycles))
+
+
+def _default_task():
+    from repro.runtime import Task
+    from repro.units import MS
+    return Task("t", deadline=10 * MS)
+
+
+TASK = _default_task()
+
+
+@pytest.fixture(scope="session")
+def asic_levels():
+    """One 100 MHz ASIC level table, characterized once per session."""
+    from repro.dvfs import ASIC_VOLTAGES, AsicVfModel, build_level_table
+    from repro.units import MHZ
+    return build_level_table(AsicVfModel.characterize(100 * MHZ),
+                             ASIC_VOLTAGES)
+
+
+@pytest.fixture(scope="session")
+def toy_package():
+    """(design, predictor package) for the toy, built once per session.
+
+    The offline flow costs ~0.3 s; every suite needing a generated
+    predictor (flow, serve) shares this single build.
+    """
+    from repro.flow import FlowConfig, generate_predictor
+    design = ToyDesign()
+    return design, generate_predictor(
+        design, toy_workload(60, seed=1), FlowConfig(gamma=1e-4))
+
+
+@pytest.fixture(scope="session")
+def shared_bundle():
+    """Session-scoped benchmark-bundle factory.
+
+    Builds one bundle per (name, scale, flow-config) for the whole
+    session and keeps its own map, so the parallel suite's
+    ``clear_bundle_cache()`` isolation cannot evict it.  Each call
+    also re-seeds the runner's in-memory cache, so library code that
+    calls ``bundle_for`` internally still hits.
+    """
+    from repro.experiments import runner
+    from repro.flow import FlowConfig
+    from repro.parallel import flow_config_fingerprint
+
+    bundles = {}
+
+    def factory(name, scale, flow_config=FlowConfig()):
+        key = (name, scale, flow_config_fingerprint(flow_config))
+        if key not in bundles:
+            bundles[key] = runner.bundle_for(name, scale, flow_config)
+        runner._BUNDLES[key] = bundles[key]
+        return bundles[key]
+
+    return factory

@@ -10,14 +10,12 @@ from repro.flow import (
     training_records,
 )
 from repro.model import worst_case_error_pct
-from tests.conftest import ToyDesign, toy_workload
+from tests.conftest import toy_workload
 
 
-@pytest.fixture(scope="module")
-def package():
-    design = ToyDesign()
-    return design, generate_predictor(
-        design, toy_workload(60, seed=1), FlowConfig(gamma=1e-4))
+@pytest.fixture
+def package(toy_package):
+    return toy_package
 
 
 def test_flow_produces_accurate_predictor(package):

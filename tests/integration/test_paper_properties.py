@@ -16,21 +16,21 @@ import numpy as np
 import pytest
 
 from repro.analysis import record_jobs
-from repro.experiments import bundle_for, tech_context
+from repro.experiments import tech_context
 from repro.experiments.fig18_hls import build_hls_predictor
 from repro.flow.software import SoftwarePredictor
 
 SCALE = 0.12
 
 
-@pytest.fixture(scope="module")
-def h264_bundle():
-    return bundle_for("h264", SCALE)
+@pytest.fixture
+def h264_bundle(shared_bundle):
+    return shared_bundle("h264", SCALE)
 
 
 @pytest.mark.parametrize("name", ["h264", "cjpeg", "aes"])
-def test_slice_features_equal_full_features(name):
-    bundle = bundle_for(name, SCALE)
+def test_slice_features_equal_full_features(name, shared_bundle):
+    bundle = shared_bundle(name, SCALE)
     package = bundle.package
     jobs = [bundle.design.encode_job(item).as_pair()
             for item in bundle.workload.test[:4]]
@@ -47,8 +47,8 @@ def test_slice_features_equal_full_features(name):
 
 
 @pytest.mark.parametrize("name", ["md", "stencil"])
-def test_hls_slice_matches_rtl_prediction(name):
-    bundle = bundle_for(name, SCALE)
+def test_hls_slice_matches_rtl_prediction(name, shared_bundle):
+    bundle = shared_bundle(name, SCALE)
     predictor = build_hls_predictor(bundle)
     names = bundle.package.feature_set.names()
     for item, record in zip(bundle.workload.test[:6],
@@ -110,7 +110,8 @@ def test_job_records_are_internally_consistent(h264_bundle):
             assert 0 <= cycles <= record.actual_cycles
 
 
-def test_bundle_cache_returns_same_object():
-    a = bundle_for("cjpeg", SCALE)
+def test_bundle_cache_returns_same_object(shared_bundle):
+    from repro.experiments import bundle_for
+    a = shared_bundle("cjpeg", SCALE)
     b = bundle_for("cjpeg", SCALE)
     assert a is b

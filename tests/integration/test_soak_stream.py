@@ -1,0 +1,83 @@
+"""Soak: a 10k-job stream across every accelerator, strict-checked.
+
+Serves all seven benchmarks under both predictive schemes
+concurrently with ``REPRO_CHECK=strict``, so every stream is replayed
+through :func:`repro.check.check_stream` as it finishes — a single
+accounting drift anywhere in the serving path raises.  Seeded
+arrivals keep the whole soak bit-reproducible.
+"""
+
+import pytest
+
+from repro.experiments import make_controller, tech_context
+from repro.serve import (
+    AcceleratorStream,
+    RecordPredictor,
+    ServeConfig,
+    build_stream_jobs,
+    poisson_arrivals,
+    serve_streams,
+)
+from repro.workloads import ALL_BENCHMARKS
+
+SCALE = 0.05
+SCHEMES = ("prediction", "prediction_boost")
+JOBS_PER_STREAM = 715   # 7 benchmarks x 2 schemes x 715 ~ 10k jobs
+RATE = 200.0            # jobs/s on the virtual clock
+
+
+@pytest.fixture(scope="module")
+def soak_results(shared_bundle):
+    patch = pytest.MonkeyPatch()
+    patch.setenv("REPRO_CHECK", "strict")
+    try:
+        streams = []
+        for i, name in enumerate(ALL_BENCHMARKS):
+            bundle = shared_bundle(name, SCALE)
+            ctx = tech_context(bundle, tech="asic")
+            for j, scheme in enumerate(SCHEMES):
+                arrivals = poisson_arrivals(
+                    RATE, n_jobs=JOBS_PER_STREAM,
+                    seed=1000 + 10 * i + j)
+                jobs = build_stream_jobs(bundle, arrivals)
+                config = ServeConfig(deadline=ctx.config.deadline,
+                                     t_switch=ctx.config.t_switch)
+                streams.append((AcceleratorStream(
+                    name, make_controller(ctx, scheme),
+                    ctx.energy_model, ctx.slice_energy_model,
+                    predictor=RecordPredictor(), config=config), jobs))
+        # Strict mode: any invariant violation raises InvariantError
+        # inside serve_streams — reaching the return IS the assertion.
+        return serve_streams(streams, realtime=False)
+    finally:
+        patch.undo()
+
+
+def test_soak_covers_ten_thousand_jobs(soak_results):
+    total = sum(r.n_offered for r in soak_results)
+    assert total == len(ALL_BENCHMARKS) * len(SCHEMES) * JOBS_PER_STREAM
+    assert total >= 10_000
+
+
+def test_soak_conserves_every_stream(soak_results):
+    for result in soak_results:
+        assert len(result.outcomes) == result.n_offered
+        assert (result.n_completed + result.n_fallback + result.n_shed
+                == result.n_offered)
+        indices = [o.index for o in result.outcomes]
+        assert indices == sorted(set(indices))
+
+
+def test_soak_fallback_rate_is_bounded(soak_results):
+    """Record replay carries a prediction for every job, so the
+    degraded path must stay exceptional across the whole soak."""
+    for result in soak_results:
+        assert result.fallback_rate <= 0.01, \
+            f"{result.stream}/{result.scheme} degraded too often"
+
+
+def test_soak_executes_work_everywhere(soak_results):
+    for result in soak_results:
+        assert result.n_completed > 0
+        assert result.total_energy > 0.0
+        assert result.makespan > 0.0

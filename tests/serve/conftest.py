@@ -1,0 +1,77 @@
+"""Shared fixtures for the serving-runtime tests.
+
+Everything here runs on synthetic job records and the shared flat
+energy model, so the per-job accounting stays under a microscope and
+the suite stays fast.  The bundle-backed tests (online slice
+prediction, the CLI) request the session ``shared_bundle`` factory
+from the top-level conftest instead.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.check import check_stream
+from repro.dvfs import PredictiveController
+from repro.serve import AcceleratorStream, RecordPredictor, ServeConfig
+from repro.units import DVFS_SWITCH_TIME, MS
+from tests.conftest import FlatEnergyModel, job
+
+DEADLINE = 10 * MS
+
+#: Sentinel distinguishing "use the default predictor" from an
+#: explicit ``predictor=None`` (a slice scheme with no predictor at
+#: all, which must degrade to fallback).
+_DEFAULT = object()
+
+
+def stream_records(levels, n=20, heavy_every=4):
+    """Synthetic records: light jobs with a heavy one every
+    ``heavy_every`` — spiky enough that the controller changes levels.
+    """
+    light = int(levels.nominal.frequency * 2 * MS)
+    heavy = int(levels.nominal.frequency * 8 * MS)
+    records = []
+    for i in range(n):
+        is_heavy = heavy_every and i % heavy_every == heavy_every - 1
+        cycles = heavy if is_heavy else light
+        records.append(replace(job(i, cycles),
+                               predicted_cycles=float(cycles),
+                               slice_cycles=100))
+    return records
+
+
+def violations_of(stream, result):
+    """Run the invariant checker with the stream's own models."""
+    return check_stream(
+        result,
+        energy_model=stream.energy_model,
+        slice_energy_model=stream.slice_energy_model,
+        levels=stream.levels,
+        t_switch=stream.config.t_switch,
+        uses_slice=stream.controller.uses_slice,
+        charge_overheads=stream.controller.charge_overheads,
+    )
+
+
+@pytest.fixture
+def records(asic_levels):
+    return stream_records(asic_levels)
+
+
+@pytest.fixture
+def make_stream(asic_levels):
+    """Factory for a predictive stream over the shared level table."""
+
+    def factory(predictor=_DEFAULT, boost=False, **config):
+        config.setdefault("deadline", DEADLINE)
+        controller = PredictiveController(asic_levels, DVFS_SWITCH_TIME,
+                                          boost=boost)
+        return AcceleratorStream(
+            "synthetic", controller, FlatEnergyModel(),
+            slice_energy_model=FlatEnergyModel(),
+            predictor=(RecordPredictor() if predictor is _DEFAULT
+                       else predictor),
+            config=ServeConfig(**config))
+
+    return factory

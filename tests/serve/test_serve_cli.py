@@ -1,0 +1,65 @@
+"""The ``repro serve`` subcommand, invoked in-process."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def cjpeg(shared_bundle):
+    """Prewarm the bundle the CLI will look up (scale 0.05)."""
+    return shared_bundle("cjpeg", 0.05)
+
+
+def test_serve_virtual_ok(cjpeg, capsys):
+    assert main(["serve", "--benchmark", "cjpeg", "--jobs", "25",
+                 "--rate", "400", "--virtual", "--predictor", "record",
+                 "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "cjpeg/prediction [open]: 25 offered" in out
+    assert "serve: ok" in out
+
+
+def test_serve_realtime_smoke(cjpeg, capsys):
+    assert main(["serve", "--benchmark", "cjpeg", "--jobs", "10",
+                 "--rate", "200", "--predictor", "record"]) == 0
+    assert "serve: ok" in capsys.readouterr().out
+
+
+def test_serve_burst_and_scheme(cjpeg, capsys):
+    assert main(["serve", "--benchmark", "cjpeg", "--duration", "0.5",
+                 "--rate", "100", "--virtual", "--arrival", "burst",
+                 "--scheme", "prediction_boost",
+                 "--predictor", "record"]) == 0
+    assert "cjpeg/prediction_boost" in capsys.readouterr().out
+
+
+def test_serve_unknown_benchmark_exits_2(capsys):
+    assert main(["serve", "--benchmark", "nope", "--jobs", "1"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_serve_unknown_scheme_exits_2(capsys):
+    assert main(["serve", "--benchmark", "cjpeg", "--jobs", "1",
+                 "--scheme", "warp"]) == 2
+    assert "unknown scheme" in capsys.readouterr().err
+
+
+def test_serve_run_dir_captures_metrics(cjpeg, tmp_path, capsys):
+    run_dir = tmp_path / "run"
+    assert main(["serve", "--benchmark", "cjpeg", "--jobs", "15",
+                 "--rate", "300", "--virtual", "--predictor", "record",
+                 "--run-dir", str(run_dir)]) == 0
+    capsys.readouterr()
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    counters = manifest["metrics"]["counters"]
+    assert counters["serve.offered"] == 15
+    assert (counters.get("serve.completed", 0)
+            + counters.get("serve.fallback", 0)
+            + counters.get("serve.shed", 0)) == 15
+    assert "serve.decision_ms" in manifest["metrics"]["histograms"]
+    # And the rendered report carries the serving digest.
+    assert main(["report", str(run_dir)]) == 0
+    assert "serve: 15 offered" in capsys.readouterr().out

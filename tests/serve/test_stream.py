@@ -1,0 +1,105 @@
+"""Arrival processes and stream construction."""
+
+import pytest
+
+from repro.serve import (
+    StreamJob,
+    burst_arrivals,
+    poisson_arrivals,
+    stream_from_records,
+    trace_replay,
+)
+from tests.conftest import job
+
+
+def test_poisson_deterministic_in_seed():
+    a = poisson_arrivals(50.0, duration=2.0, seed=7)
+    b = poisson_arrivals(50.0, duration=2.0, seed=7)
+    c = poisson_arrivals(50.0, duration=2.0, seed=8)
+    assert a == b
+    assert a != c
+
+
+def test_poisson_duration_bound():
+    times = poisson_arrivals(100.0, duration=1.5, seed=0)
+    assert all(0.0 < t < 1.5 for t in times)
+    assert times == sorted(times)
+    # Law of large numbers, loosely: ~150 arrivals expected.
+    assert 100 < len(times) < 210
+
+
+def test_poisson_n_jobs_bound():
+    times = poisson_arrivals(100.0, n_jobs=37, seed=3)
+    assert len(times) == 37
+    assert times == sorted(times)
+
+
+def test_poisson_mean_rate():
+    times = poisson_arrivals(200.0, n_jobs=4000, seed=1)
+    mean_gap = times[-1] / len(times)
+    assert mean_gap == pytest.approx(1.0 / 200.0, rel=0.1)
+
+
+def test_poisson_argument_validation():
+    with pytest.raises(ValueError, match="exactly one"):
+        poisson_arrivals(10.0, duration=1.0, n_jobs=5)
+    with pytest.raises(ValueError, match="exactly one"):
+        poisson_arrivals(10.0)
+    with pytest.raises(ValueError, match="rate"):
+        poisson_arrivals(0.0, duration=1.0)
+
+
+def test_burst_preserves_average_rate():
+    times = burst_arrivals(200.0, duration=20.0, seed=2)
+    assert len(times) / 20.0 == pytest.approx(200.0, rel=0.15)
+    assert times == sorted(times)
+    assert all(0.0 <= t < 20.0 for t in times)
+
+
+def test_burst_has_silent_phases():
+    """Every arrival lands inside the on-phase of its period."""
+    period, duty = 1.0, 0.3
+    times = burst_arrivals(100.0, duration=10.0, seed=5,
+                           period=period, duty=duty)
+    assert times  # a 10 s window at 100/s is never empty
+    for t in times:
+        assert (t % period) <= period * duty + 1e-9
+
+
+def test_burst_argument_validation():
+    with pytest.raises(ValueError, match="duty"):
+        burst_arrivals(10.0, duration=1.0, duty=0.0)
+    with pytest.raises(ValueError, match="period"):
+        burst_arrivals(10.0, duration=1.0, period=-1.0)
+
+
+def test_trace_replay_sorts_and_compresses():
+    assert trace_replay([3.0, 1.0, 2.0]) == [1.0, 2.0, 3.0]
+    assert trace_replay([2.0, 4.0], speed=2.0) == [1.0, 2.0]
+    with pytest.raises(ValueError, match="speed"):
+        trace_replay([1.0], speed=0.0)
+    with pytest.raises(ValueError, match="negative"):
+        trace_replay([-1.0, 2.0])
+
+
+def test_stream_job_rejects_negative_arrival():
+    with pytest.raises(ValueError, match="negative"):
+        StreamJob(index=0, record=job(0, 100), arrival=-0.5)
+
+
+def test_stream_from_records_cycles_and_reindexes():
+    records = [job(0, 100), job(1, 200)]
+    jobs = stream_from_records(records, [0.3, 0.1, 0.2, 0.4, 0.5])
+    assert [j.index for j in jobs] == [0, 1, 2, 3, 4]
+    assert [j.record.index for j in jobs] == [0, 1, 2, 3, 4]
+    # Arrivals sorted, records cycled in order.
+    assert [j.arrival for j in jobs] == [0.1, 0.2, 0.3, 0.4, 0.5]
+    assert [j.record.actual_cycles for j in jobs] == \
+        [100, 200, 100, 200, 100]
+
+
+def test_stream_from_records_validation():
+    with pytest.raises(ValueError, match="zero records"):
+        stream_from_records([], [0.1])
+    with pytest.raises(ValueError, match="1:1"):
+        stream_from_records([job(0, 100)], [0.1], inputs=[None, None])
