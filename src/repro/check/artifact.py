@@ -11,7 +11,15 @@ it against itself and the manifest:
 * every ``episode`` summary event equals the aggregation of the job
   events it closes over (job count, energy sum, miss count, switch
   count);
-* the manifest's ``episode.jobs`` counter matches the job-event total.
+* every ``stream`` summary event from the serving runtime equals the
+  aggregation of its per-job ``sjob`` events (offered / completed /
+  fallback / shed / miss counts, energy sum — the conservation law
+  every offered job ends in exactly one terminal state);
+* the manifest's ``episode.jobs`` counter matches the job-event total;
+* a manifest-named ``timeseries.json`` exists, parses, and its
+  windowed sample counts agree with the manifest's ``serve.*``
+  counters (unless the ring evicted windows, which the artifact
+  declares), and any ``slo`` summary rows are internally consistent.
 
 This is the offline half of the correctness story: the invariant
 checker (:mod:`repro.check.invariants`) guards live episodes, this
@@ -25,7 +33,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
-from ..obs import MANIFEST_NAME, read_events
+from ..obs import MANIFEST_NAME, TimeSeriesRegistry, read_events
 from ..units import TIME_EPS_REL
 
 #: Relative tolerance for energy sums re-accumulated from job events.
@@ -84,13 +92,29 @@ def check_run_dir(run_dir: Union[str, Path]) -> List[str]:
             f"{events_name} holds {len(events)} — truncated or "
             f"appended-to artifact")
 
-    # Accumulate job events until the episode summary that closes them.
+    # Accumulate job events until the episode summary that closes them
+    # (and sjob events until their stream summary).
     open_groups: Dict[Tuple[str, str], List[Dict[str, object]]] = {}
+    open_streams: Dict[str, List[Dict[str, object]]] = {}
     total_job_events = 0
     for position, event in enumerate(events):
         etype = event.get("type")
         key = (str(event.get("controller")), str(event.get("task")))
-        if etype == "job":
+        if etype == "sjob":
+            name = str(event.get("stream"))
+            open_streams.setdefault(name, []).append(event)
+            if event.get("status") != "shed":
+                for field in ("t_slice", "t_switch", "t_exec", "energy"):
+                    if float(event.get(field, 0.0)) < 0.0:
+                        violations.append(
+                            f"event {position}: sjob "
+                            f"{event.get('index')} of stream {name} "
+                            f"has negative {field} ({event.get(field)})")
+        elif etype == "stream":
+            name = str(event.get("stream"))
+            violations.extend(_check_stream_summary(
+                position, event, open_streams.pop(name, [])))
+        elif etype == "job":
             total_job_events += 1
             open_groups.setdefault(key, []).append(event)
             for field in ("t_slice", "t_exec", "energy"):
@@ -135,6 +159,10 @@ def check_run_dir(run_dir: Union[str, Path]) -> List[str]:
         violations.append(
             f"{len(jobs)} job event(s) for {key} never closed by an "
             f"episode summary")
+    for name, sjobs in open_streams.items():
+        violations.append(
+            f"{len(sjobs)} sjob event(s) for stream {name} never "
+            f"closed by a stream summary")
 
     counters = (manifest.get("metrics") or {}).get("counters") or {}
     if "episode.jobs" in counters and total_job_events:
@@ -143,4 +171,112 @@ def check_run_dir(run_dir: Union[str, Path]) -> List[str]:
                 f"manifest counter episode.jobs="
                 f"{counters['episode.jobs']} but {total_job_events} "
                 f"job events were captured")
+    violations.extend(_check_timeseries(run_dir, manifest))
+    violations.extend(_check_slo_rows(manifest))
+    return violations
+
+
+def _check_stream_summary(position: int, event: Dict[str, object],
+                          sjobs: List[Dict[str, object]]) -> List[str]:
+    """Cross-check one ``stream`` summary against its ``sjob`` events.
+
+    Conservation: every offered job ends in exactly one terminal
+    state, so the summary's offered / completed / fallback / shed /
+    miss counts and energy sum must equal the per-job aggregation.
+    """
+    name = str(event.get("stream"))
+    violations: List[str] = []
+    by_status = {"completed": 0, "fallback": 0, "shed": 0}
+    for sjob in sjobs:
+        status = str(sjob.get("status"))
+        by_status[status] = by_status.get(status, 0) + 1
+    checks = (
+        ("n_offered", len(sjobs)),
+        ("n_completed", by_status.get("completed", 0)),
+        ("n_fallback", by_status.get("fallback", 0)),
+        ("n_shed", by_status.get("shed", 0)),
+        ("misses", sum(1 for s in sjobs if s.get("missed"))),
+    )
+    for field, derived in checks:
+        claimed = int(event.get(field, -1))
+        if claimed != derived:
+            violations.append(
+                f"event {position}: stream {name} claims "
+                f"{field}={claimed} but sjob events show {derived}")
+    energy = sum(float(s.get("energy", 0.0)) for s in sjobs)
+    claimed_energy = float(event.get("energy", 0.0))
+    if abs(claimed_energy - energy) > _ENERGY_REL_TOL * max(
+            abs(claimed_energy), abs(energy), 1e-30):
+        violations.append(
+            f"event {position}: stream {name} energy "
+            f"{claimed_energy!r} != sjob-event sum {energy!r}")
+    return violations
+
+
+def _check_timeseries(run_dir: Path,
+                      manifest: Dict[str, object]) -> List[str]:
+    """Audit the ``timeseries.json`` artifact against the manifest.
+
+    The windowed series must exist when the manifest names them,
+    parse back through :meth:`TimeSeriesRegistry.from_dict`, and —
+    when the ring evicted nothing — conserve sample counts against
+    the manifest's ``serve.*`` counters (one ``serve.shed`` indicator
+    per offered job, one ``serve.miss`` indicator per executed job).
+    """
+    name = manifest.get("timeseries_file")
+    if not name:
+        return []
+    path = run_dir / str(name)
+    if not path.is_file():
+        return [f"manifest names {name} but the file is missing"]
+    try:
+        with open(path) as handle:
+            ts = TimeSeriesRegistry.from_dict(json.load(handle))
+    except (json.JSONDecodeError, ValueError, TypeError) as exc:
+        return [f"{name} does not parse: {exc}"]
+    violations: List[str] = []
+    for series in ts.series_names():
+        for index, cell in ts.windows(series):
+            if cell.count < 0 or (cell.count == 0 and cell.total):
+                violations.append(
+                    f"{name}: series {series} window {index} is "
+                    f"inconsistent (count={cell.count}, "
+                    f"total={cell.total})")
+    if any(ts.dropped_windows.values()):
+        return violations  # truncated record: counts can't conserve
+    counters = (manifest.get("metrics") or {}).get("counters") or {}
+    executed = (int(counters.get("serve.completed", 0))
+                + int(counters.get("serve.fallback", 0)))
+    conservation = (
+        ("serve.shed", int(counters.get("serve.offered", 0))),
+        ("serve.miss", executed),
+    )
+    for series, expected in conservation:
+        if series not in ts.series_names() or not expected:
+            continue
+        held = ts.total_count(series)
+        if held != expected:
+            violations.append(
+                f"{name}: series {series} holds {held} samples but "
+                f"manifest counters imply {expected}")
+    return violations
+
+
+def _check_slo_rows(manifest: Dict[str, object]) -> List[str]:
+    """Internal consistency of the manifest's ``slo`` summary rows."""
+    violations: List[str] = []
+    for row in manifest.get("slo") or []:
+        spec = row.get("spec", "?")
+        windows = int(row.get("windows", 0))
+        bad = int(row.get("bad_windows", 0))
+        if bad < 0 or windows < 0 or bad > windows:
+            violations.append(
+                f"slo {spec}: bad_windows={bad} outside "
+                f"[0, windows={windows}]")
+        burn = row.get("burn_rate")
+        if burn is not None and bool(row.get("exhausted")) \
+                != (float(burn) > 1.0):
+            violations.append(
+                f"slo {spec}: exhausted={row.get('exhausted')} "
+                f"contradicts burn_rate={burn}")
     return violations

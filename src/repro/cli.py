@@ -8,8 +8,11 @@ Commands:
 * ``verilog <benchmark> [-o FILE]`` — export a design as Verilog;
 * ``predict <benchmark> [--scale S] [--show N]`` — train a predictor
   and show per-job predictions (the quickstart, from the shell);
-* ``report <run-dir>`` — render a captured observability run; without
-  a run directory, run all experiments into a markdown report;
+* ``report <run-dir>`` — render a captured observability run
+  (including the windowed serve dashboard and SLO status for serving
+  runs; ``--export-trace out.json`` additionally writes Chrome-trace
+  JSON for chrome://tracing / Perfetto); without a run directory, run
+  all experiments into a markdown report;
 * ``check <run-dir>`` — audit a captured run's accounting; without a
   run directory, re-run every (benchmark, scheme) episode under the
   invariant checker and diff canonical traces against the goldens
@@ -19,7 +22,10 @@ Commands:
   accelerators, per-job slice prediction and level selection, bounded
   admission, fallback counting, and a stream-invariant check at the
   end (``--virtual`` drives the simulated clock flat-out instead of
-  pacing arrivals against the wall clock).
+  pacing arrivals against the wall clock).  ``--slo SPEC`` declares
+  windowed objectives (``miss_rate<5%``, ``p99_decision_ms<1@95%``)
+  tracked live with error-budget burn rates; an exhausted budget
+  exits 3.
 
 ``experiment``, ``predict`` and ``report`` accept ``--profile`` (print
 a stage-timing table) and ``--run-dir DIR`` (write ``manifest.json``
@@ -80,14 +86,17 @@ _EXPERIMENT_BENCHMARKS = {
 
 
 @contextlib.contextmanager
-def _maybe_observe(args: argparse.Namespace, command: str) -> Iterator:
+def _maybe_observe(args: argparse.Namespace, command: str,
+                   force: bool = False) -> Iterator:
     """Install an observability session when the flags ask for one.
 
     Yields the live Observer (``--profile`` and/or ``--run-dir``) or
-    ``None`` (both absent — the zero-overhead path).
+    ``None`` (both absent — the zero-overhead path).  ``force=True``
+    installs a session regardless: SLO enforcement needs the windowed
+    time series even when no artifacts were requested.
     """
     run_dir = getattr(args, "run_dir", None)
-    if not run_dir and not getattr(args, "profile", False):
+    if not run_dir and not getattr(args, "profile", False) and not force:
         yield None
         return
     from .obs import session
@@ -287,7 +296,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
                   f"a directory written by --run-dir "
                   f"(containing manifest.json)", file=sys.stderr)
             return 2
+        if args.export_trace:
+            from .obs.export import write_chrome_trace
+            path = write_chrome_trace(args.run, args.export_trace)
+            print(f"wrote {path} (Chrome-trace JSON)")
         return 0
+    if args.export_trace:
+        print("--export-trace needs a captured run directory",
+              file=sys.stderr)
+        return 2
 
     ids = args.only or [i for i in EXPERIMENTS if i != "fig19"]
     sections: List[str] = [
@@ -537,9 +554,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.backend is not None:
         from .rtl import set_default_backend
         set_default_backend(args.backend)
+    specs = []
+    if args.slo:
+        from .obs import parse_slo
+        try:
+            specs = [parse_slo(text) for text in args.slo]
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
 
     failures = 0
-    with _maybe_observe(args, "serve " + " ".join(args.benchmark)) as obs:
+    slo_exhausted = False
+    with _maybe_observe(args, "serve " + " ".join(args.benchmark),
+                        force=bool(specs)) as obs:
+        if obs is not None:
+            if args.slo_window_ms is not None:
+                from .obs import TimeSeriesRegistry
+                obs.timeseries = TimeSeriesRegistry(
+                    window_s=args.slo_window_ms * 1e-3)
+            if specs:
+                from .obs import SloTracker
+                obs.slo = SloTracker(specs)
         streams = []
         for i, bench in enumerate(args.benchmark):
             bundle = bundle_for(bench, args.scale)
@@ -592,12 +627,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             report = LoadReport.from_result(result, mode="open",
                                             offered_rate=args.rate)
             print(report.describe())
-        if obs is not None:
+        if obs is not None and obs.slo is not None:
+            print("slo:")
+            print(obs.slo.describe())
+            slo_exhausted = obs.slo.exhausted
+        if obs is not None and (args.profile or args.run_dir):
             _print_stage_timings(obs, args.run_dir)
     _print_cache_stats()
     print("serve: " + ("ok" if failures == 0
-                       else f"{failures} violation(s)"))
-    return 1 if failures else 0
+                       else f"{failures} violation(s)")
+          + (", slo budget exhausted" if slo_exhausted else ""))
+    if failures:
+        return 1
+    return 3 if slo_exhausted else 0
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -765,6 +807,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--virtual", action="store_true",
                    help="drive the virtual clock flat-out instead of "
                         "pacing arrivals against the wall clock")
+    p.add_argument("--slo", action="append", default=None,
+                   metavar="SPEC",
+                   help="windowed SLO to enforce, e.g. 'miss_rate<5%%' "
+                        "or 'p99_decision_ms<1@95%%' (repeatable; "
+                        "exits 3 when any error budget is exhausted)")
+    p.add_argument("--slo-window-ms", type=float, default=None,
+                   metavar="MS",
+                   help="time-series window width in virtual ms "
+                        "(default 100)")
     p.add_argument("--cache-dir", nargs="?", const=DEFAULT_CACHE_DIR,
                    default=None, metavar="DIR",
                    help="persist flow artifacts (bare flag: "
@@ -783,6 +834,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--only", nargs="*", default=None,
                    help="subset of experiment ids")
+    p.add_argument("--export-trace", default=None, metavar="OUT.json",
+                   help="with a run dir: also export it as "
+                        "Chrome-trace JSON (load in chrome://tracing "
+                        "or ui.perfetto.dev)")
     return parser
 
 

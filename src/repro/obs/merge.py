@@ -1,0 +1,85 @@
+"""Cross-process telemetry: ship worker metrics home and merge them.
+
+Forked pool workers must never write to the parent's span buffers or
+event files (shared descriptors), so each worker runs its **own**
+file-less :class:`~repro.obs.runctx.Observer`.  The metrics it records
+— ``sim.*`` kernel counters, nested-map ``pool.*`` series, streaming
+histograms — used to die with the worker; these helpers are the wire
+protocol that keeps them:
+
+* :func:`activate_worker` — installed by the pool initializer: replace
+  the forked parent observer with a fresh in-memory one;
+* :func:`worker_snapshot` — called at the end of each work chunk:
+  detach the chunk's bucket-level
+  :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` payload and reset
+  the worker registry, so every chunk ships exactly its own deltas;
+* :func:`absorb_snapshots` — called in the parent after the map:
+  merge every shipped payload into the ambient registry (counters
+  add, histograms merge bucket-for-bucket), counting any chunk that
+  arrived without telemetry in ``pool.dropped_observers`` so reports
+  can flag undercounted runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .runctx import Observer, get_observer
+from .tracer import Tracer
+
+#: Counter flagging chunks whose worker telemetry could not be
+#: captured — a nonzero value means aggregate ``sim.*``/histogram
+#: figures undercount the run.
+DROPPED_COUNTER = "pool.dropped_observers"
+
+
+def activate_worker() -> None:
+    """Install a fresh, file-less Observer in a pool worker.
+
+    The fork copied the parent's Observer — including open file
+    descriptors — so the first thing a worker must do is replace it:
+    the replacement has no run dir (events are dropped, nothing is
+    written on finish) but a live :class:`MetricsRegistry` whose
+    contents :func:`worker_snapshot` ships back chunk by chunk.
+    """
+    from . import runctx
+    runctx._CURRENT = Observer(run_dir=None, command="pool-worker")
+
+
+def worker_snapshot() -> Optional[Dict]:
+    """Detach and return the worker's metrics since the last call.
+
+    Returns the bucket-level registry payload (``None`` when no
+    observer is installed — the parent counts that as a dropped
+    observer).  The worker's registry and tracer are reset so the next
+    chunk ships only its own deltas and span memory stays bounded
+    across long maps.
+    """
+    observer = get_observer()
+    if observer is None:
+        return None
+    payload = observer.metrics.to_dict()
+    observer.metrics = MetricsRegistry()
+    observer.tracer = Tracer()
+    return payload
+
+
+def absorb_snapshots(snapshots: List[Optional[Dict]]) -> None:
+    """Merge worker chunk payloads into the ambient registry.
+
+    No-op when observability is off.  ``None`` entries (a chunk that
+    ran without a worker observer) increment :data:`DROPPED_COUNTER`
+    instead of silently vanishing.
+    """
+    observer = get_observer()
+    if observer is None:
+        return
+    dropped = 0
+    for payload in snapshots:
+        if payload is None:
+            dropped += 1
+        else:
+            observer.metrics.merge_dict(payload)
+    if dropped:
+        observer.metrics.inc(DROPPED_COUNTER, dropped)

@@ -111,6 +111,75 @@ class StreamingHistogram:
             "p99": self.quantile(0.99),
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Full bucket-level state, JSON-ready and lossless.
+
+        Unlike :meth:`snapshot` (a human summary), this round-trips
+        through :meth:`from_dict` bit-exactly — bucket keys become
+        strings for JSON, and the empty sketch's ``min``/``max``
+        sentinels (``±inf``) become ``None`` so the payload stays
+        strict-JSON parseable.
+        """
+        return {
+            "relative_accuracy": self.relative_accuracy,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "zeros": self._zeros,
+            "positive": {str(i): n for i, n in self._positive.items()},
+            "negative": {str(i): n for i, n in self._negative.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StreamingHistogram":
+        """Rebuild a sketch from :meth:`to_dict` output.
+
+        Restores the bucket tables *and* the exact ``min``/``max`` —
+        without them a deserialized sketch whose samples all sat in
+        one side (or that carried no buckets at all) would answer
+        ``quantile`` from the ``-inf`` sentinel.
+        """
+        hist = cls(relative_accuracy=float(
+            payload.get("relative_accuracy", 0.005)))
+        hist.count = int(payload.get("count", 0))
+        hist.total = float(payload.get("total", 0.0))
+        minimum = payload.get("min")
+        maximum = payload.get("max")
+        hist.min = math.inf if minimum is None else float(minimum)
+        hist.max = -math.inf if maximum is None else float(maximum)
+        hist._zeros = int(payload.get("zeros", 0))
+        hist._positive = {int(i): int(n) for i, n
+                          in (payload.get("positive") or {}).items()}
+        hist._negative = {int(i): int(n) for i, n
+                          in (payload.get("negative") or {}).items()}
+        return hist
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold ``other``'s samples into this sketch, in place.
+
+        Bucket-level addition: the merged sketch is exactly what one
+        sketch observing both sample streams would hold, which is what
+        lets pool workers sketch independently and the parent combine
+        them.  Requires matching bucket geometry.
+        """
+        if other.count == 0:
+            return
+        if not math.isclose(other.relative_accuracy,
+                            self.relative_accuracy):
+            raise ValueError(
+                f"cannot merge sketches with different accuracies "
+                f"({self.relative_accuracy} vs {other.relative_accuracy})")
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self._zeros += other._zeros
+        for index, n in other._positive.items():
+            self._positive[index] = self._positive.get(index, 0) + n
+        for index, n in other._negative.items():
+            self._negative[index] = self._negative.get(index, 0) + n
+
 
 class MetricsRegistry:
     """Named counters, gauges, and histograms for one run."""
@@ -149,3 +218,51 @@ class MetricsRegistry:
                 for name, hist in self.histograms.items()
             },
         }
+
+    def to_dict(self) -> Dict[str, Dict]:
+        """Lossless registry state (histograms at bucket level).
+
+        The shape :meth:`merge_dict` consumes — what a pool worker
+        ships back with each chunk result so no telemetry dies with
+        the worker process.
+        """
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Dict]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        registry = cls()
+        registry.merge_dict(payload)
+        return registry
+
+    def merge_dict(self, payload: Dict[str, Dict]) -> None:
+        """Fold a :meth:`to_dict` payload into this registry.
+
+        Counters add, histograms merge bucket-for-bucket, gauges take
+        the incoming value (latest writer wins — callers that must
+        keep their own gauges set them after merging).
+        """
+        for name, value in (payload.get("counters") or {}).items():
+            self.inc(name, float(value))
+        for name, value in (payload.get("gauges") or {}).items():
+            self.set_gauge(name, float(value))
+        for name, hist_payload in (payload.get("histograms") or {}).items():
+            incoming = StreamingHistogram.from_dict(hist_payload)
+            existing = self.histograms.get(name)
+            if existing is None:
+                # Adopt wholesale: keeps the sender's bucket geometry
+                # instead of forcing the default accuracy on it.
+                self.histograms[name] = incoming
+            else:
+                existing.merge(incoming)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (see :meth:`merge_dict`)."""
+        self.merge_dict(other.to_dict())

@@ -1,10 +1,13 @@
-"""Render captured runs: stage-timing tables and episode summaries.
+"""Render captured runs: stage timings, episodes, serve dashboards.
 
 Pure presentation over the artifacts ``runctx`` wrote — nothing here
 mutates a run directory.  ``render_run`` is the engine behind
 ``repro report <run-dir>``; ``format_stage_table`` also serves the
 stage-timing footer ``repro experiment --profile`` prints from the
-live tracer.
+live tracer.  Serve runs additionally get a time-resolved dashboard
+(:func:`summarize_serve_windows` over ``timeseries.json``) and the
+manifest's SLO burn-rate status; Chrome-trace export lives in
+:mod:`repro.obs.export`.
 """
 
 from __future__ import annotations
@@ -16,6 +19,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..runtime.trace import sparkline
 from .events import read_events
 from .runctx import EVENTS_NAME, MANIFEST_NAME
+from .slo import describe_slo_rows
+from .timeseries import TIMESERIES_NAME, TimeSeriesRegistry, WindowCell
 
 AggregateRows = Sequence[Tuple[str, Optional[str], int, int, float]]
 
@@ -159,6 +164,86 @@ def summarize_job_events(events: Sequence[Dict]) -> str:
     return "\n".join(lines)
 
 
+def summarize_serve_windows(ts: TimeSeriesRegistry,
+                            max_rows: int = 12) -> str:
+    """Time-resolved serve dashboard from the windowed registry.
+
+    One row per (possibly coarsened) window — executed jobs, miss /
+    shed / fallback rates, mean energy per job, p99 decision latency —
+    plus full-resolution sparklines underneath.  When the run spans
+    more than ``max_rows`` windows, consecutive windows are merged
+    cell-by-cell so the table stays terminal-sized without losing the
+    aggregates (sums and sketches merge exactly; only row granularity
+    coarsens).
+    """
+    indices = ts.window_indices()
+    if not indices:
+        return "  (no windowed serve telemetry)"
+    lo, hi = indices[0], indices[-1]
+    group = max(1, -(-(hi - lo + 1) // max_rows))  # ceil division
+
+    def coarse(series: str) -> Dict[int, WindowCell]:
+        slots: Dict[int, WindowCell] = {}
+        for index, cell in ts.windows(series):
+            slot = (index - lo) // group
+            merged = slots.get(slot)
+            if merged is None:
+                merged = slots[slot] = WindowCell()
+            merged.merge(cell)
+        return slots
+
+    miss = coarse("serve.miss")
+    shed = coarse("serve.shed")
+    fallback = coarse("serve.fallback")
+    energy = coarse("serve.energy_per_job")
+    decision = coarse("serve.decision_ms")
+
+    header = ("t(s)", "jobs", "miss%", "shed%", "fb%",
+              "energy/job", "p99ms")
+    table: List[Tuple[str, ...]] = [header]
+    for slot in range((hi - lo) // group + 1):
+        cells = (miss.get(slot), shed.get(slot), fallback.get(slot),
+                 energy.get(slot), decision.get(slot))
+        if not any(c is not None and c.count for c in cells):
+            continue
+        m, s, f, e, d = cells
+
+        def pct(cell: Optional[WindowCell]) -> str:
+            return f"{cell.mean * 100:.1f}" if cell is not None \
+                and cell.count else "-"
+
+        table.append((
+            f"{ts.window_start(lo + slot * group):.2f}",
+            str(m.count if m is not None else 0),
+            pct(m), pct(s), pct(f),
+            f"{e.mean:.3g}" if e is not None and e.count else "-",
+            f"{d.quantile(0.99):.3g}" if d is not None and d.count
+            else "-",
+        ))
+    widths = [max(len(row[i]) for row in table)
+              for i in range(len(header))]
+    lines = [
+        "  " + "  ".join(
+            cell.ljust(w) if i == 0 else cell.rjust(w)
+            for i, (cell, w) in enumerate(zip(row, widths)))
+        for row in table
+    ]
+    if group > 1:
+        lines.append(f"  ({group} windows of {ts.window_s:g} s "
+                     f"merged per row)")
+    for series, label in (("serve.miss", "miss rate "),
+                          ("serve.energy_per_job", "energy/job")):
+        values = [cell.mean for _, cell in ts.windows(series)]
+        if len(values) > 1:
+            lines.append(f"  {label} {sparkline(values)}")
+    dropped = {name: n for name, n in ts.dropped_windows.items() if n}
+    if dropped:
+        detail = ", ".join(f"{name}: {n}"
+                           for name, n in sorted(dropped.items()))
+        lines.append(f"  (ring evicted old windows — {detail})")
+    return "\n".join(lines)
+
+
 def load_manifest(run_dir: Path) -> Dict:
     """Parse ``manifest.json`` from a run directory."""
     with open(run_dir / MANIFEST_NAME) as handle:
@@ -232,6 +317,21 @@ def render_run(run_dir) -> str:
                     f" p50={snap['p50']:.4g} p95={snap['p95']:.4g}"
                     f" p99={snap['p99']:.4g}"
                 )
+    ts_path = run_dir / str(manifest.get("timeseries_file")
+                            or TIMESERIES_NAME)
+    if ts_path.is_file():
+        with open(ts_path) as handle:
+            ts = TimeSeriesRegistry.from_dict(json.load(handle))
+        if any(name.startswith("serve.") for name in ts.series_names()):
+            lines.append("")
+            lines.append(f"serve (windows of {ts.window_s * 1e3:g} ms, "
+                         f"virtual clock):")
+            lines.append(summarize_serve_windows(ts))
+    slo_rows = manifest.get("slo")
+    if slo_rows:
+        lines.append("")
+        lines.append("slo:")
+        lines.append(describe_slo_rows(slo_rows))
     events_path = run_dir / EVENTS_NAME
     if events_path.exists():
         lines.append("")

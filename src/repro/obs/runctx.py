@@ -28,6 +28,7 @@ from typing import Dict, Iterator, Optional, Union
 
 from .events import EventSink
 from .metrics import MetricsRegistry
+from .timeseries import TIMESERIES_NAME, TimeSeriesRegistry
 from .tracer import NULL_SPAN, Tracer
 
 MANIFEST_NAME = "manifest.json"
@@ -44,6 +45,13 @@ class Observer:
         self.config = dict(config or {})
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        #: Windowed (virtual-clock) aggregates; replace before serving
+        #: to change the window width.  Persisted as
+        #: ``timeseries.json`` when non-empty and a run_dir was given.
+        self.timeseries = TimeSeriesRegistry()
+        #: Optional live SLO tracker (set by ``repro serve --slo``);
+        #: its summary lands in the manifest.
+        self.slo = None
         self.started_at = time.time()
         self._t0 = time.perf_counter()
         self.sink: Optional[EventSink] = None
@@ -62,7 +70,7 @@ class Observer:
 
     def manifest(self) -> Dict[str, object]:
         """The JSON-ready run manifest (computable at any point)."""
-        return {
+        manifest = {
             "command": self.command,
             "config": self.config,
             "git_rev": git_revision(),
@@ -72,16 +80,27 @@ class Observer:
             "duration_s": time.perf_counter() - self._t0,
             "events_file": EVENTS_NAME if self.sink is not None else None,
             "n_events": self.sink.n_events if self.sink is not None else 0,
+            "timeseries_file": (TIMESERIES_NAME
+                                if self.run_dir is not None
+                                and self.timeseries else None),
             "stages": [s.to_dict() for s in self.tracer.spans],
             "metrics": self.metrics.snapshot(),
         }
+        if self.slo is not None:
+            manifest["slo"] = self.slo.summary()
+        return manifest
 
     def finish(self) -> Optional[Path]:
-        """Close the sink and write ``manifest.json`` (if run_dir)."""
+        """Close the sink and write ``manifest.json`` plus (when any
+        windowed series were recorded) ``timeseries.json``."""
         if self.sink is not None:
             self.sink.close()
         if self.run_dir is None:
             return None
+        if self.timeseries:
+            with open(self.run_dir / TIMESERIES_NAME, "w") as handle:
+                json.dump(self.timeseries.to_dict(), handle)
+                handle.write("\n")
         path = self.run_dir / MANIFEST_NAME
         with open(path, "w") as handle:
             json.dump(self.manifest(), handle, indent=2, default=str)

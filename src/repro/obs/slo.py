@@ -1,0 +1,242 @@
+"""Declarative SLOs with error-budget burn-rate accounting.
+
+A service-level objective here is a *windowed* statement — "miss rate
+below 5 % in at least 99 % of 1 s windows", "p99 decision latency
+under 1 ms" — evaluated live against the
+:class:`~repro.obs.timeseries.TimeSeriesRegistry` the serving runtime
+records into.  Each spec compares one per-window aggregate (mean,
+rate, a quantile, min/max) of one series against a threshold; windows
+that violate it consume *error budget*, and the **burn rate** is the
+fraction of budget consumed relative to what the objective allows:
+
+    burn_rate = (bad_windows / evaluated_windows) / (1 - objective)
+
+``burn_rate > 1`` means the budget is exhausted — ``repro serve
+--slo ...`` exits non-zero on it, the CI gate for "this change made
+the service worse".  Specs parse from compact CLI strings::
+
+    miss_rate<5%              # named signal, default 99% objective
+    p99_decision_ms<1@95%     # explicit 95% objective
+    mean:serve.energy_per_job<2.5e-4   # generic agg:series form
+
+Named signals map onto the ``serve.*`` series
+:class:`~repro.serve.server.AcceleratorStream` records (0/1 indicator
+series make the window mean a rate), so the spec language needs no
+schema beyond the series that already exist.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .timeseries import TimeSeriesRegistry
+
+#: CLI-friendly signal names -> (series, per-window aggregate).
+NAMED_SIGNALS = {
+    "miss_rate": ("serve.miss", "mean"),
+    "shed_rate": ("serve.shed", "mean"),
+    "fallback_rate": ("serve.fallback", "mean"),
+    "energy_per_job": ("serve.energy_per_job", "mean"),
+    "p50_decision_ms": ("serve.decision_ms", "p50"),
+    "p99_decision_ms": ("serve.decision_ms", "p99"),
+    "max_decision_ms": ("serve.decision_ms", "max"),
+}
+
+#: Aggregates a spec may apply to a window.
+AGGREGATES = ("mean", "rate", "min", "max", "p50", "p95", "p99")
+
+_SPEC_RE = re.compile(
+    r"^(?P<signal>[A-Za-z0-9_.:]+)"
+    r"\s*(?P<op><=|<)\s*"
+    r"(?P<threshold>[-+0-9.eE]+)(?P<percent>%?)"
+    r"(?:@(?P<objective>[0-9.]+)%?)?$")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One parsed objective over one windowed signal."""
+
+    name: str           # display name (the spec text's signal part)
+    series: str         # time-series name the windows come from
+    agg: str            # per-window aggregate (see AGGREGATES)
+    op: str             # "<" or "<="
+    threshold: float
+    objective: float = 0.99   # fraction of windows that must comply
+
+    def __post_init__(self) -> None:
+        if self.agg not in AGGREGATES:
+            raise ValueError(f"unknown aggregate {self.agg!r}; "
+                             f"valid: {', '.join(AGGREGATES)}")
+        if not 0.0 < self.objective <= 1.0:
+            raise ValueError("objective must be in (0, 1]")
+
+    def describe(self) -> str:
+        """The spec back as a compact string."""
+        return (f"{self.name}{self.op}{self.threshold:g}"
+                f"@{self.objective * 100:g}%")
+
+    def window_value(self, cell, window_s: float) -> float:
+        """The aggregate this spec reads off one window cell."""
+        if self.agg == "mean":
+            return cell.mean
+        if self.agg == "rate":
+            return cell.count / window_s
+        if self.agg == "min":
+            return cell.min
+        if self.agg == "max":
+            return cell.max
+        return cell.quantile(float(self.agg[1:]) / 100.0)
+
+    def complies(self, value: float) -> bool:
+        """Does one window's aggregate satisfy the objective?"""
+        if self.op == "<":
+            return value < self.threshold
+        return value <= self.threshold
+
+
+def parse_slo(text: str) -> SloSpec:
+    """Parse one CLI spec string (see the module docstring grammar).
+
+    Raises :class:`ValueError` on anything unparseable, with the
+    valid named signals listed — the CLI surfaces that as exit 2.
+    """
+    match = _SPEC_RE.match(text.strip())
+    if not match:
+        raise ValueError(
+            f"cannot parse SLO {text!r}; expected e.g. 'miss_rate<5%', "
+            f"'p99_decision_ms<1@95%' or 'mean:serve.miss<0.05'")
+    signal = match.group("signal")
+    threshold = float(match.group("threshold"))
+    if match.group("percent"):
+        threshold /= 100.0
+    objective = 0.99
+    if match.group("objective"):
+        objective = float(match.group("objective")) / 100.0
+    if ":" in signal:
+        agg, series = signal.split(":", 1)
+    elif signal in NAMED_SIGNALS:
+        series, agg = NAMED_SIGNALS[signal]
+    else:
+        raise ValueError(
+            f"unknown SLO signal {signal!r}; named signals: "
+            f"{', '.join(NAMED_SIGNALS)} (or use 'agg:series' with "
+            f"agg one of {', '.join(AGGREGATES)})")
+    return SloSpec(name=signal, series=series, agg=agg,
+                   op=match.group("op"), threshold=threshold,
+                   objective=objective)
+
+
+@dataclass
+class _SpecState:
+    """Mutable per-spec accounting."""
+
+    windows: int = 0
+    bad_windows: int = 0
+    worst: float = -math.inf
+    last_index: int = -1          # highest window index evaluated
+    bad_examples: List[int] = field(default_factory=list)
+
+
+class SloTracker:
+    """Evaluates a set of specs against a live time-series registry.
+
+    :meth:`evaluate` is incremental and idempotent: each call folds in
+    the windows that *closed* since the last call (a window closes
+    once the virtual clock passes its end — the current, still-filling
+    window is never judged early).  :meth:`finalize` force-closes
+    everything at end of stream.  Windows where the spec's series saw
+    no samples are skipped — an idle window has no miss rate.
+    """
+
+    def __init__(self, specs: Sequence[SloSpec]):
+        if not specs:
+            raise ValueError("SloTracker needs at least one spec")
+        self.specs = list(specs)
+        self._state: Dict[SloSpec, _SpecState] = {
+            spec: _SpecState() for spec in self.specs}
+
+    def evaluate(self, ts: TimeSeriesRegistry,
+                 upto_t: Optional[float] = None) -> None:
+        """Fold in windows fully before ``upto_t`` (``None`` = all)."""
+        horizon = (ts.window_index(upto_t) if upto_t is not None
+                   else None)
+        for spec in self.specs:
+            state = self._state[spec]
+            for index, cell in ts.windows(spec.series):
+                if index <= state.last_index or cell.count == 0:
+                    continue
+                if horizon is not None and index >= horizon:
+                    break
+                value = spec.window_value(cell, ts.window_s)
+                state.windows += 1
+                state.worst = max(state.worst, value)
+                if not spec.complies(value):
+                    state.bad_windows += 1
+                    if len(state.bad_examples) < 8:
+                        state.bad_examples.append(index)
+                state.last_index = index
+
+    def finalize(self, ts: TimeSeriesRegistry) -> None:
+        """Close every remaining window (end of stream)."""
+        self.evaluate(ts, upto_t=None)
+
+    def burn_rate(self, spec: SloSpec) -> float:
+        """Budget consumed relative to allowance (1.0 = exhausted)."""
+        state = self._state[spec]
+        if state.windows == 0:
+            return 0.0
+        bad_fraction = state.bad_windows / state.windows
+        allowed = 1.0 - spec.objective
+        if allowed <= 0.0:
+            return math.inf if state.bad_windows else 0.0
+        return bad_fraction / allowed
+
+    @property
+    def exhausted(self) -> bool:
+        """True when any spec has burned through its error budget."""
+        return any(self.burn_rate(spec) > 1.0 for spec in self.specs)
+
+    def summary(self) -> List[Dict[str, object]]:
+        """JSON-ready per-spec accounting (manifest ``slo`` section)."""
+        rows = []
+        for spec in self.specs:
+            state = self._state[spec]
+            burn = self.burn_rate(spec)
+            rows.append({
+                "spec": spec.describe(),
+                "series": spec.series,
+                "agg": spec.agg,
+                "threshold": spec.threshold,
+                "objective": spec.objective,
+                "windows": state.windows,
+                "bad_windows": state.bad_windows,
+                "worst": (state.worst if state.windows else None),
+                "burn_rate": (burn if math.isfinite(burn) else None),
+                "exhausted": burn > 1.0,
+                "bad_window_indices": list(state.bad_examples),
+            })
+        return rows
+
+    def describe(self) -> str:
+        """Human status lines, one per spec (CLI footer)."""
+        return describe_slo_rows(self.summary())
+
+
+def describe_slo_rows(rows: Sequence[Dict]) -> str:
+    """Render :meth:`SloTracker.summary` rows (live or from a
+    manifest) as human status lines, one per spec."""
+    lines = []
+    for row in rows:
+        burn = row.get("burn_rate")
+        burn_text = ("inf" if burn is None and row.get("bad_windows")
+                     else "0.00" if burn is None
+                     else f"{burn:.2f}")
+        status = "EXHAUSTED" if row.get("exhausted") else "ok"
+        lines.append(
+            f"  slo {row['spec']}: {row.get('bad_windows', 0)}/"
+            f"{row.get('windows', 0)} bad window(s), "
+            f"burn rate {burn_text} — {status}")
+    return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""Time-resolved metrics: ring-buffered windowed aggregates.
+
+End-of-run aggregates (``MetricsRegistry``) answer *how much*; a
+serving runtime also needs *when*.  The :class:`TimeSeriesRegistry`
+buckets samples into fixed-width windows keyed on the serve runtime's
+**virtual clock**, so "miss rate over 1 s windows" and "p99 decision
+latency per 100 ms" are first-class signals — the shape the SLO
+tracker (:mod:`repro.obs.slo`), the ``repro report`` dashboard, and
+the ROADMAP's fleet power-cap item all consume.
+
+Each (series, window) cell keeps count/total/min/max plus an optional
+quantile sketch, so a window's *rate* (count over window length),
+*mean* (e.g. miss rate from 0/1 samples), and *quantiles* all come out
+without per-sample storage.  A per-series ring bounds memory on
+unbounded streams: once ``capacity`` windows exist the oldest is
+evicted (and counted in ``dropped_windows``, so downstream consumers
+can tell a complete record from a truncated one).
+
+The registry serializes losslessly (:meth:`TimeSeriesRegistry.to_dict`
+/ :meth:`~TimeSeriesRegistry.from_dict`) — a ``--run-dir`` session
+persists it as ``timeseries.json`` next to the manifest — and merges
+(:meth:`~TimeSeriesRegistry.merge`), so per-process registries can be
+combined fleet-wide.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import StreamingHistogram
+
+#: Artifact filename a run-dir session writes the registry to.
+TIMESERIES_NAME = "timeseries.json"
+
+#: Default window width (seconds of virtual time).
+DEFAULT_WINDOW_S = 0.1
+
+#: Default per-series ring capacity (windows kept before eviction).
+DEFAULT_CAPACITY = 600
+
+
+class WindowCell:
+    """Aggregates of one series over one time window."""
+
+    __slots__ = ("count", "total", "min", "max", "sketch")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.sketch: Optional[StreamingHistogram] = None
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the window's samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def add(self, value: float, sketch_accuracy: Optional[float]) -> None:
+        """Fold one sample in (``sketch_accuracy=None`` skips the
+        quantile sketch — the cheap counter/rate path)."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if sketch_accuracy is not None:
+            if self.sketch is None:
+                self.sketch = StreamingHistogram(sketch_accuracy)
+            self.sketch.observe(value)
+
+    def quantile(self, q: float) -> float:
+        """Window quantile from the sketch (falls back to min/mean/max
+        for sketchless cells)."""
+        if self.sketch is not None:
+            return self.sketch.quantile(q)
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        return self.mean
+
+    def merge(self, other: "WindowCell") -> None:
+        """Fold another cell covering the same window into this one."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        if other.sketch is not None:
+            if self.sketch is None:
+                self.sketch = StreamingHistogram.from_dict(
+                    other.sketch.to_dict())
+            else:
+                self.sketch.merge(other.sketch)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready cell state (lossless; ``min``/``max`` are
+        ``None`` on the empty cell)."""
+        payload: Dict[str, object] = {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+        if self.sketch is not None:
+            payload["sketch"] = self.sketch.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "WindowCell":
+        """Rebuild a cell from :meth:`to_dict` output."""
+        cell = cls()
+        cell.count = int(payload.get("count", 0))
+        cell.total = float(payload.get("total", 0.0))
+        minimum = payload.get("min")
+        maximum = payload.get("max")
+        cell.min = math.inf if minimum is None else float(minimum)
+        cell.max = -math.inf if maximum is None else float(maximum)
+        sketch = payload.get("sketch")
+        if sketch is not None:
+            cell.sketch = StreamingHistogram.from_dict(sketch)
+        return cell
+
+
+class TimeSeriesRegistry:
+    """Named time series of ring-buffered windowed aggregates.
+
+    Two verbs mirror :class:`~repro.obs.metrics.MetricsRegistry`:
+    :meth:`inc` for event-rate series (cheap, no sketch) and
+    :meth:`observe` for value distributions (adds a per-window
+    quantile sketch).  Observing a 0/1 indicator makes the window mean
+    a *rate* — miss rate, shed rate and fallback rate are recorded
+    exactly this way by the serving runtime.
+    """
+
+    def __init__(self, window_s: float = DEFAULT_WINDOW_S,
+                 capacity: int = DEFAULT_CAPACITY,
+                 sketch_accuracy: float = 0.01):
+        if window_s <= 0.0:
+            raise ValueError("window_s must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.window_s = float(window_s)
+        self.capacity = int(capacity)
+        self.sketch_accuracy = float(sketch_accuracy)
+        self._series: Dict[str, Dict[int, WindowCell]] = {}
+        self.dropped_windows: Dict[str, int] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self._series)
+
+    def window_index(self, t: float) -> int:
+        """The window that instant ``t`` falls into (clamped at 0)."""
+        return max(0, int(t // self.window_s))
+
+    def window_start(self, index: int) -> float:
+        """Start instant of window ``index``."""
+        return index * self.window_s
+
+    def _cell(self, name: str, t: float) -> WindowCell:
+        windows = self._series.get(name)
+        if windows is None:
+            windows = self._series[name] = {}
+        index = self.window_index(t)
+        cell = windows.get(index)
+        if cell is None:
+            cell = windows[index] = WindowCell()
+            if len(windows) > self.capacity:
+                oldest = min(windows)
+                del windows[oldest]
+                self.dropped_windows[name] = \
+                    self.dropped_windows.get(name, 0) + 1
+        return cell
+
+    def inc(self, name: str, t: float, amount: float = 1.0) -> None:
+        """Count an event on series ``name`` at virtual instant ``t``."""
+        self._cell(name, t).add(float(amount), None)
+
+    def observe(self, name: str, t: float, value: float) -> None:
+        """Add a sample to series ``name`` at virtual instant ``t``
+        (keeps a per-window quantile sketch)."""
+        self._cell(name, t).add(float(value), self.sketch_accuracy)
+
+    def series_names(self) -> List[str]:
+        """Recorded series names, sorted."""
+        return sorted(self._series)
+
+    def windows(self, name: str) -> List[Tuple[int, WindowCell]]:
+        """``(window_index, cell)`` pairs of one series, in time order."""
+        return sorted((self._series.get(name) or {}).items())
+
+    def window_indices(self) -> List[int]:
+        """Union of window indices across every series, sorted."""
+        indices = set()
+        for windows in self._series.values():
+            indices.update(windows)
+        return sorted(indices)
+
+    def cell(self, name: str, index: int) -> Optional[WindowCell]:
+        """The cell of ``name`` at window ``index`` (``None`` if no
+        samples landed there)."""
+        return (self._series.get(name) or {}).get(index)
+
+    def total_count(self, name: str) -> int:
+        """Samples currently held for ``name`` (evicted windows
+        excluded — check :attr:`dropped_windows`)."""
+        return sum(c.count for _, c in self.windows(name))
+
+    def merge(self, other: "TimeSeriesRegistry") -> None:
+        """Fold another registry in, window by window.
+
+        Both registries must share ``window_s`` — merging differently
+        bucketed series silently misaligns time, so it raises instead.
+        """
+        if not math.isclose(other.window_s, self.window_s):
+            raise ValueError(
+                f"cannot merge time series with different windows "
+                f"({self.window_s} s vs {other.window_s} s)")
+        for name in other.series_names():
+            mine = self._series.setdefault(name, {})
+            for index, cell in other.windows(name):
+                existing = mine.get(index)
+                if existing is None:
+                    mine[index] = WindowCell.from_dict(cell.to_dict())
+                else:
+                    existing.merge(cell)
+            if name in other.dropped_windows:
+                self.dropped_windows[name] = \
+                    self.dropped_windows.get(name, 0) \
+                    + other.dropped_windows[name]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-ready registry state (the ``timeseries.json``
+        artifact body)."""
+        return {
+            "window_s": self.window_s,
+            "capacity": self.capacity,
+            "sketch_accuracy": self.sketch_accuracy,
+            "dropped_windows": dict(self.dropped_windows),
+            "series": {
+                name: {str(index): cell.to_dict()
+                       for index, cell in self.windows(name)}
+                for name in self.series_names()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TimeSeriesRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        registry = cls(
+            window_s=float(payload.get("window_s", DEFAULT_WINDOW_S)),
+            capacity=int(payload.get("capacity", DEFAULT_CAPACITY)),
+            sketch_accuracy=float(payload.get("sketch_accuracy", 0.01)),
+        )
+        registry.dropped_windows = {
+            str(k): int(v) for k, v
+            in (payload.get("dropped_windows") or {}).items()}
+        for name, windows in (payload.get("series") or {}).items():
+            registry._series[name] = {
+                int(index): WindowCell.from_dict(cell)
+                for index, cell in windows.items()
+            }
+        return registry

@@ -18,8 +18,15 @@ Every map emits spans and metrics into the PR 1 observability
 subsystem: ``pool.tasks``/``pool.maps`` counters, ``pool.workers`` and
 ``pool.utilization`` gauges, and a ``pool.map_s`` wall-clock histogram
 — ``repro report`` summarizes them as pool effectiveness.  Observers
-are process-local: a forked worker drops the inherited observer so
-span buffers and event files are only ever written by the parent.
+are process-local: a forked worker replaces the inherited observer
+with a fresh file-less one (so span buffers and event files are only
+ever written by the parent), records into it, and ships its
+bucket-level metrics snapshot back with every chunk result; the
+parent merges each snapshot into the ambient registry, so ``sim.*``
+counters and worker-side histograms survive ``--jobs N`` instead of
+dying with the pool.  A chunk that somehow arrives without telemetry
+is counted in ``pool.dropped_observers`` so reports can flag
+undercounted runs.
 """
 
 from __future__ import annotations
@@ -83,21 +90,25 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 def _init_worker(fn: Callable) -> None:
-    # Runs once per worker process.  Drop any observer forked from the
-    # parent: worker-side spans would otherwise write to the parent's
-    # buffers/files through shared descriptors.
+    # Runs once per worker process.  Replace any observer forked from
+    # the parent with a fresh file-less one: worker-side spans/events
+    # must never reach the parent's buffers/files through shared
+    # descriptors, but worker metrics are kept and shipped home.
     global _WORKER_FN
     _WORKER_FN = fn
-    from ..obs import runctx
-    runctx._deactivate()
+    from ..obs.merge import activate_worker
+    activate_worker()
 
 
 def _run_chunk(chunk: Sequence) -> tuple:
     # Worker body: apply the installed function to one chunk of items,
-    # reporting the chunk's busy time for utilization accounting.
+    # reporting the chunk's busy time for utilization accounting and
+    # its metrics deltas for parent-side aggregation.
+    from ..obs.merge import worker_snapshot
     t0 = time.perf_counter()
     results = [_WORKER_FN(item) for item in chunk]
-    return results, time.perf_counter() - t0
+    busy = time.perf_counter() - t0
+    return results, busy, worker_snapshot()
 
 
 def _note_metrics(label: str, n_tasks: int, workers: int,
@@ -160,9 +171,13 @@ def pmap(fn: Callable[[T], R], items: Sequence[T],
         wall = time.perf_counter() - t0
     results: List[R] = []
     busy = 0.0
-    for chunk_out, chunk_busy in chunk_results:
+    snapshots = []
+    for chunk_out, chunk_busy, snapshot in chunk_results:
         results.extend(chunk_out)
         busy += chunk_busy
+        snapshots.append(snapshot)
+    from ..obs.merge import absorb_snapshots
+    absorb_snapshots(snapshots)
     _note_metrics(label, n, workers, busy, wall)
     return results
 

@@ -268,6 +268,13 @@ class AcceleratorStream:
         self.n_offered = 0
         self.now = 0.0
         self._previous = self.levels.nominal
+        #: Evaluate the ambient SLO tracker after every batch.  Left
+        #: True for a lone stream; :func:`serve_streams` clears it
+        #: when several streams share the global windowed series, in
+        #: which case only the end-of-run finalize judges windows
+        #: (judging mid-run would see a window before every stream
+        #: had written into it).
+        self.slo_live = True
         self.controller.reset()
 
     # -- admission -----------------------------------------------------
@@ -293,14 +300,22 @@ class AcceleratorStream:
         observer = get_observer()
         if observer is not None:
             observer.metrics.inc("serve.shed")
+            observer.emit(
+                "sjob", stream=self.name, index=sjob.index,
+                status=SHED, arrival=sjob.arrival)
 
     def admit(self, sjob: StreamJob) -> bool:
         """Admit or shed one arriving job (no execution yet)."""
         self.n_offered += 1
+        shed = self.backlog(sjob.arrival) >= self.config.queue_depth
         observer = get_observer()
         if observer is not None:
             observer.metrics.inc("serve.offered")
-        if self.backlog(sjob.arrival) >= self.config.queue_depth:
+            # Shed indicator per *offered* job at its arrival instant:
+            # the window mean is the shed rate of that window.
+            observer.timeseries.observe("serve.shed", sjob.arrival,
+                                        1.0 if shed else 0.0)
+        if shed:
             self._shed(sjob)
             return False
         self._queue.append(sjob)
@@ -389,6 +404,23 @@ class AcceleratorStream:
             observer.metrics.observe("serve.decision_ms",
                                      decision_s * 1e3)
             observer.metrics.observe("serve.batch_size", batch_size)
+            # Windowed signals keyed on the virtual finish instant:
+            # 0/1 indicators make each window's mean a rate, so the
+            # SLO tracker and the report dashboard read rates and
+            # energy-per-job straight off the windows.
+            ts = observer.timeseries
+            ts.observe("serve.miss", finish, 1.0 if missed else 0.0)
+            ts.observe("serve.fallback", finish,
+                       1.0 if fallback else 0.0)
+            ts.observe("serve.energy_per_job", finish, energy)
+            ts.observe("serve.decision_ms", finish, decision_s * 1e3)
+            observer.emit(
+                "sjob", stream=self.name, index=sjob.index,
+                status=outcome.status, arrival=sjob.arrival,
+                release=release, start=start, t_slice=t_slice,
+                t_switch=t_switch, t_exec=t_exec, energy=energy,
+                missed=missed, decision_ms=decision_s * 1e3,
+                batch_size=batch_size)
         return outcome
 
     def run_batch(self) -> List[StreamOutcome]:
@@ -404,10 +436,17 @@ class AcceleratorStream:
         if not batch:
             return []
         planned = [self._predict(sjob) for sjob in batch]
-        return [
+        executed = [
             self._execute(sjob, record, decision_s, len(batch))
             for sjob, (record, decision_s) in zip(batch, planned)
         ]
+        observer = get_observer()
+        if (observer is not None and observer.slo is not None
+                and self.slo_live):
+            # Judge only windows strictly before the clock: the
+            # current window may still receive samples.
+            observer.slo.evaluate(observer.timeseries, upto_t=self.now)
+        return executed
 
     def offer(self, sjob: StreamJob) -> None:
         """Virtual-time entry point: drain due work, then admit.
@@ -552,12 +591,21 @@ def serve_streams(streams: Sequence[Tuple[AcceleratorStream,
         arrivals = [sjob.arrival for sjob in jobs]
         if arrivals != sorted(arrivals):
             raise ValueError("stream jobs must be sorted by arrival")
+    observer = get_observer()
+    if len(streams) > 1:
+        # Several streams write into the same global windowed series;
+        # a window is only complete once every stream has passed it,
+        # so defer all SLO judgement to the end-of-run finalize.
+        for stream, _ in streams:
+            stream.slo_live = False
     with span("serve", streams=len(streams),
               mode="realtime" if realtime else "virtual"):
         results = asyncio.run(_serve_all(streams, realtime))
     for (stream, _), result in zip(streams, results):
         _emit_stream_summary(result)
         _check_result(stream, result)
+    if observer is not None and observer.slo is not None:
+        observer.slo.finalize(observer.timeseries)
     return results
 
 

@@ -1,0 +1,151 @@
+"""Artifact audits of serve runs: sjob conservation, time series, SLO."""
+
+import json
+
+from repro.check import check_run_dir
+from repro.obs import session
+
+
+def _serve_run(tmp_path):
+    """A synthetic-but-consistent serve run directory: 3 offered jobs
+    (1 completed, 1 fallback+miss, 1 shed), windowed series and
+    counters that all agree."""
+    run_dir = tmp_path / "run"
+    with session(run_dir=run_dir, command="serve synth") as obs:
+        obs.metrics.inc("serve.offered", 3)
+        obs.metrics.inc("serve.completed", 1)
+        obs.metrics.inc("serve.fallback", 1)
+        obs.metrics.inc("serve.shed", 1)
+        ts = obs.timeseries
+        for t, shed in ((0.00, 0.0), (0.01, 0.0), (0.15, 1.0)):
+            ts.observe("serve.shed", t, shed)
+        ts.observe("serve.miss", 0.005, 0.0)
+        ts.observe("serve.miss", 0.06, 1.0)
+        obs.emit("sjob", stream="s", index=0, status="completed",
+                 arrival=0.0, release=0.0, start=0.0, t_slice=0.001,
+                 t_switch=0.0, t_exec=0.004, energy=1e-5, missed=False)
+        obs.emit("sjob", stream="s", index=1, status="fallback",
+                 arrival=0.01, release=0.01, start=0.01, t_slice=0.0,
+                 t_switch=0.0, t_exec=0.05, energy=2e-5, missed=True)
+        obs.emit("sjob", stream="s", index=2, status="shed",
+                 arrival=0.02)
+        obs.emit("stream", stream="s", scheme="prediction", n_offered=3,
+                 n_completed=1, n_fallback=1, n_shed=1, misses=1,
+                 energy=3e-5, makespan=0.06, wall_s=0.01)
+    return run_dir
+
+
+def _rewrite_events(run_dir, mutate):
+    path = run_dir / "events.jsonl"
+    events = [json.loads(line)
+              for line in path.read_text().splitlines()]
+    mutate(events)
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+
+
+def _rewrite_manifest(run_dir, mutate):
+    path = run_dir / "manifest.json"
+    manifest = json.loads(path.read_text())
+    mutate(manifest)
+    path.write_text(json.dumps(manifest))
+
+
+def test_consistent_serve_run_is_clean(tmp_path):
+    assert check_run_dir(_serve_run(tmp_path)) == []
+
+
+def test_stream_summary_count_mismatch(tmp_path):
+    run_dir = _serve_run(tmp_path)
+
+    def mutate(events):
+        next(e for e in events if e["type"] == "stream")["n_shed"] = 0
+
+    _rewrite_events(run_dir, mutate)
+    violations = check_run_dir(run_dir)
+    assert any("n_shed=0 but sjob events show 1" in v
+               for v in violations)
+
+
+def test_stream_summary_energy_mismatch(tmp_path):
+    run_dir = _serve_run(tmp_path)
+
+    def mutate(events):
+        next(e for e in events if e["type"] == "stream")["energy"] = 9.0
+
+    _rewrite_events(run_dir, mutate)
+    assert any("energy" in v and "sjob-event sum" in v
+               for v in check_run_dir(run_dir))
+
+
+def test_negative_sjob_time_is_flagged(tmp_path):
+    run_dir = _serve_run(tmp_path)
+
+    def mutate(events):
+        next(e for e in events if e["type"] == "sjob")["t_exec"] = -1.0
+
+    _rewrite_events(run_dir, mutate)
+    assert any("negative t_exec" in v for v in check_run_dir(run_dir))
+
+
+def test_orphaned_sjobs_are_flagged(tmp_path):
+    run_dir = _serve_run(tmp_path)
+
+    def mutate(events):
+        # Summaries for a stream nobody recorded jobs for: the real
+        # stream's sjobs become orphans and the impostor mismatches.
+        next(e for e in events if e["type"] == "stream")["stream"] = "x"
+
+    _rewrite_events(run_dir, mutate)
+    violations = check_run_dir(run_dir)
+    assert any("never closed by a stream summary" in v
+               for v in violations)
+
+
+def test_missing_timeseries_artifact(tmp_path):
+    run_dir = _serve_run(tmp_path)
+    (run_dir / "timeseries.json").unlink()
+    assert any("timeseries.json but the file is missing" in v
+               for v in check_run_dir(run_dir))
+
+
+def test_corrupt_timeseries_artifact(tmp_path):
+    run_dir = _serve_run(tmp_path)
+    (run_dir / "timeseries.json").write_text("{not json")
+    assert any("does not parse" in v for v in check_run_dir(run_dir))
+
+
+def test_timeseries_count_conservation(tmp_path):
+    run_dir = _serve_run(tmp_path)
+    path = run_dir / "timeseries.json"
+    payload = json.loads(path.read_text())
+    # Drop one shed-indicator window: 3 offered jobs now map to fewer
+    # windowed samples than the counters imply.
+    del payload["series"]["serve.shed"]["1"]
+    path.write_text(json.dumps(payload))
+    assert any("serve.shed holds 2 samples" in v
+               and "imply 3" in v for v in check_run_dir(run_dir))
+
+
+def test_evicted_windows_waive_conservation(tmp_path):
+    run_dir = _serve_run(tmp_path)
+    path = run_dir / "timeseries.json"
+    payload = json.loads(path.read_text())
+    del payload["series"]["serve.shed"]["1"]
+    payload["dropped_windows"] = {"serve.shed": 1}  # declared eviction
+    path.write_text(json.dumps(payload))
+    assert check_run_dir(run_dir) == []
+
+
+def test_inconsistent_slo_rows(tmp_path):
+    run_dir = _serve_run(tmp_path)
+
+    def mutate(manifest):
+        manifest["slo"] = [
+            {"spec": "miss_rate<0.05@99%", "windows": 2,
+             "bad_windows": 5, "burn_rate": 0.5, "exhausted": True},
+        ]
+
+    _rewrite_manifest(run_dir, mutate)
+    violations = check_run_dir(run_dir)
+    assert any("outside" in v for v in violations)
+    assert any("contradicts burn_rate" in v for v in violations)

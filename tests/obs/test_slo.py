@@ -1,0 +1,115 @@
+"""SLO spec parsing and error-budget burn-rate tracking."""
+
+import pytest
+
+from repro.obs import SloSpec, SloTracker, TimeSeriesRegistry, parse_slo
+from repro.obs.slo import describe_slo_rows
+
+
+def _series(values, window_s=1.0, name="serve.miss"):
+    """One sample per window, centred, in window order."""
+    ts = TimeSeriesRegistry(window_s=window_s)
+    for i, value in enumerate(values):
+        ts.observe(name, (i + 0.5) * window_s, float(value))
+    return ts
+
+
+def test_parse_named_percent():
+    spec = parse_slo("miss_rate<5%")
+    assert spec.series == "serve.miss"
+    assert spec.agg == "mean"
+    assert spec.threshold == pytest.approx(0.05)
+    assert spec.objective == pytest.approx(0.99)
+    assert spec.describe() == "miss_rate<0.05@99%"
+
+
+def test_parse_objective_and_le():
+    spec = parse_slo("p99_decision_ms<=1.5@95%")
+    assert spec.op == "<=" and spec.objective == pytest.approx(0.95)
+    assert spec.series == "serve.decision_ms" and spec.agg == "p99"
+    assert spec.complies(1.5) and not spec.complies(1.6)
+
+
+def test_parse_generic_agg_series_form():
+    spec = parse_slo("max:custom.series<2e-3")
+    assert spec.series == "custom.series" and spec.agg == "max"
+    assert spec.threshold == pytest.approx(2e-3)
+
+
+def test_parse_errors_list_valid_signals():
+    with pytest.raises(ValueError, match="cannot parse"):
+        parse_slo("not a spec")
+    with pytest.raises(ValueError, match="unknown SLO signal"):
+        parse_slo("warp_speed<1")
+    with pytest.raises(ValueError, match="unknown aggregate"):
+        parse_slo("median:x<1")
+    with pytest.raises(ValueError, match="objective"):
+        SloSpec(name="x", series="x", agg="mean", op="<",
+                threshold=1.0, objective=0.0)
+
+
+def test_window_value_aggregates():
+    ts = _series([0.0])
+    cell = ts.cell("serve.miss", 0)
+    cell.add(4.0, 0.01)
+    assert SloSpec("x", "s", "mean", "<", 1).window_value(cell, 1.0) \
+        == pytest.approx(2.0)
+    assert SloSpec("x", "s", "rate", "<", 1).window_value(cell, 1.0) \
+        == pytest.approx(2.0)   # 2 samples / 1 s window
+    assert SloSpec("x", "s", "max", "<", 1).window_value(cell, 1.0) \
+        == pytest.approx(4.0)
+    assert SloSpec("x", "s", "min", "<", 1).window_value(cell, 1.0) \
+        == pytest.approx(0.0)
+
+
+def test_tracker_burn_rate_and_exhaustion():
+    ts = _series([0.0, 1.0, 0.0, 1.0])
+    tracker = SloTracker([parse_slo("miss_rate<0.5@90%")])
+    tracker.finalize(ts)
+    row = tracker.summary()[0]
+    assert row["windows"] == 4
+    assert row["bad_windows"] == 2
+    assert row["burn_rate"] == pytest.approx(5.0)  # 0.5 / 0.1
+    assert row["bad_window_indices"] == [1, 3]
+    assert tracker.exhausted
+    assert "EXHAUSTED" in tracker.describe()
+
+
+def test_live_evaluation_never_judges_the_open_window():
+    ts = TimeSeriesRegistry(window_s=1.0)
+    tracker = SloTracker([parse_slo("miss_rate<0.5")])
+    ts.observe("serve.miss", 0.5, 1.0)  # bad window 0, still open
+    tracker.evaluate(ts, upto_t=0.9)
+    assert tracker.summary()[0]["windows"] == 0
+    tracker.evaluate(ts, upto_t=1.2)    # window 0 has closed now
+    assert tracker.summary()[0]["windows"] == 1
+    assert tracker.summary()[0]["bad_windows"] == 1
+    # Idempotent: re-evaluating and finalizing never double-counts.
+    tracker.evaluate(ts, upto_t=5.0)
+    tracker.finalize(ts)
+    assert tracker.summary()[0]["windows"] == 1
+
+
+def test_idle_windows_are_skipped():
+    ts = TimeSeriesRegistry(window_s=1.0)
+    ts.observe("serve.miss", 0.5, 0.0)
+    ts.observe("serve.miss", 5.5, 0.0)  # windows 1..4 saw nothing
+    tracker = SloTracker([parse_slo("miss_rate<0.5")])
+    tracker.finalize(ts)
+    row = tracker.summary()[0]
+    assert row["windows"] == 2 and row["bad_windows"] == 0
+    assert not tracker.exhausted
+
+
+def test_perfect_objective_burns_infinitely_on_any_bad_window():
+    tracker = SloTracker([parse_slo("miss_rate<0.5@100%")])
+    tracker.finalize(_series([1.0]))
+    row = tracker.summary()[0]
+    assert row["burn_rate"] is None  # inf is not JSON
+    assert row["exhausted"]
+    assert "inf" in describe_slo_rows([row])
+
+
+def test_tracker_requires_specs():
+    with pytest.raises(ValueError):
+        SloTracker([])

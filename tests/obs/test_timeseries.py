@@ -1,0 +1,106 @@
+"""Windowed time-series registry: cells, rings, round-trips, merges."""
+
+import json
+
+import pytest
+
+from repro.obs import TimeSeriesRegistry, WindowCell
+
+
+def test_window_math():
+    ts = TimeSeriesRegistry(window_s=0.5)
+    assert ts.window_index(0.0) == 0
+    assert ts.window_index(0.49) == 0
+    assert ts.window_index(0.5) == 1
+    assert ts.window_index(-3.0) == 0  # clamped, never negative
+    assert ts.window_start(3) == pytest.approx(1.5)
+
+
+def test_indicator_mean_is_rate():
+    ts = TimeSeriesRegistry(window_s=1.0)
+    for t, miss in ((0.1, 1), (0.2, 0), (0.3, 0), (0.4, 1), (1.2, 1)):
+        ts.observe("miss", t, float(miss))
+    windows = dict(ts.windows("miss"))
+    assert windows[0].count == 4
+    assert windows[0].mean == pytest.approx(0.5)
+    assert windows[1].mean == pytest.approx(1.0)
+    assert ts.total_count("miss") == 5
+    assert ts.series_names() == ["miss"]
+    assert ts.window_indices() == [0, 1]
+
+
+def test_inc_skips_sketch_observe_keeps_it():
+    ts = TimeSeriesRegistry()
+    ts.inc("events", 0.0)
+    ts.observe("latency", 0.0, 3.0)
+    assert ts.cell("events", 0).sketch is None
+    assert ts.cell("latency", 0).sketch is not None
+    assert ts.cell("latency", 0).quantile(0.5) == pytest.approx(
+        3.0, rel=0.05)
+    assert ts.cell("latency", 99) is None
+
+
+def test_sketchless_cell_quantile_fallback():
+    cell = WindowCell()
+    assert cell.quantile(0.5) == 0.0  # empty
+    cell.add(1.0, None)
+    cell.add(3.0, None)
+    assert cell.quantile(0.0) == 1.0   # min
+    assert cell.quantile(1.0) == 3.0   # max
+    assert cell.quantile(0.5) == 2.0   # mean stands in between
+
+
+def test_ring_eviction_counts_drops():
+    ts = TimeSeriesRegistry(window_s=1.0, capacity=3)
+    for i in range(5):
+        ts.inc("x", float(i))
+    assert [i for i, _ in ts.windows("x")] == [2, 3, 4]
+    assert ts.dropped_windows == {"x": 2}
+
+
+def test_round_trip_is_lossless_and_strict_json():
+    ts = TimeSeriesRegistry(window_s=0.25, capacity=10,
+                            sketch_accuracy=0.02)
+    for i in range(30):
+        ts.observe("lat", i * 0.1, float(i % 7))
+        ts.inc("n", i * 0.1)
+    payload = json.loads(json.dumps(ts.to_dict()))  # strict JSON
+    back = TimeSeriesRegistry.from_dict(payload)
+    assert back.window_s == ts.window_s
+    assert back.to_dict() == ts.to_dict()
+    for index, cell in ts.windows("lat"):
+        other = back.cell("lat", index)
+        assert other.count == cell.count
+        assert other.quantile(0.5) == cell.quantile(0.5)
+
+
+def test_merge_window_by_window():
+    a = TimeSeriesRegistry(window_s=1.0)
+    b = TimeSeriesRegistry(window_s=1.0)
+    a.observe("m", 0.5, 1.0)
+    b.observe("m", 0.5, 0.0)
+    b.observe("m", 1.5, 1.0)
+    b.dropped_windows["m"] = 2
+    a.merge(b)
+    assert a.cell("m", 0).count == 2
+    assert a.cell("m", 0).mean == pytest.approx(0.5)
+    assert a.cell("m", 1).count == 1
+    assert a.dropped_windows["m"] == 2
+    assert b.cell("m", 0).count == 1  # the source is untouched
+
+
+def test_merge_rejects_mismatched_windows():
+    with pytest.raises(ValueError, match="different windows"):
+        TimeSeriesRegistry(window_s=1.0).merge(
+            TimeSeriesRegistry(window_s=0.5))
+
+
+def test_validation_and_bool():
+    with pytest.raises(ValueError):
+        TimeSeriesRegistry(window_s=0.0)
+    with pytest.raises(ValueError):
+        TimeSeriesRegistry(capacity=0)
+    ts = TimeSeriesRegistry()
+    assert not ts
+    ts.inc("x", 0.0)
+    assert ts

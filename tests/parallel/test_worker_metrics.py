@@ -1,0 +1,96 @@
+"""Worker telemetry survives the pool: ship-back, merge, drop count."""
+
+from repro.obs import get_observer, session
+from repro.obs import runctx
+from repro.obs.merge import (
+    DROPPED_COUNTER,
+    absorb_snapshots,
+    activate_worker,
+    worker_snapshot,
+)
+from repro.parallel import pmap
+from tests.parallel.test_parallel_flow import _toy_record_setup
+
+
+def _observed_square(x):
+    obs = get_observer()
+    obs.metrics.inc("worker.calls")
+    obs.metrics.observe("worker.value", float(x))
+    return x * x
+
+
+def test_worker_metrics_merge_back_into_parent():
+    with session(command="t") as obs:
+        out = pmap(_observed_square, list(range(8)), jobs=4)
+    assert out == [x * x for x in range(8)]
+    assert obs.metrics.counters["worker.calls"] == 8.0
+    assert obs.metrics.histograms["worker.value"].count == 8
+    assert DROPPED_COUNTER not in obs.metrics.counters
+
+
+def test_counters_identical_serial_vs_parallel():
+    def run(jobs):
+        with session(command="t") as obs:
+            pmap(_observed_square, list(range(12)), jobs=jobs)
+        return {name: value
+                for name, value in obs.metrics.counters.items()
+                if name.startswith("worker.")}
+
+    assert run(1) == run(4) == {"worker.calls": 12.0}
+
+
+def test_sim_counters_survive_parallel_record_jobs():
+    # The regression this PR exists for: sim.* kernel counters used to
+    # die with the pool workers, so --jobs 4 undercounted cycles.
+    from repro.analysis import record_jobs
+
+    module, feature_set, jobs = _toy_record_setup()
+
+    def sim_counters(workers):
+        with session(command="t") as obs:
+            record_jobs(module, feature_set, jobs, workers=workers)
+        return {name: value
+                for name, value in obs.metrics.counters.items()
+                if name.endswith((".runs", ".cycles", ".ff_jumps"))}
+
+    serial = sim_counters(1)
+    parallel = sim_counters(4)
+    assert serial  # the kernel actually emitted something
+    assert serial == parallel
+
+
+def test_absorb_counts_dropped_snapshots():
+    with session(command="t") as obs:
+        absorb_snapshots([
+            None,
+            {"counters": {"x": 1.0}, "gauges": {}, "histograms": {}},
+            None,
+        ])
+    assert obs.metrics.counters[DROPPED_COUNTER] == 2.0
+    assert obs.metrics.counters["x"] == 1.0
+    absorb_snapshots([None])  # no observer installed: a silent no-op
+
+
+def test_worker_snapshot_ships_deltas_and_resets():
+    previous = runctx._CURRENT
+    try:
+        activate_worker()
+        obs = get_observer()
+        assert obs is not previous
+        assert obs.sink is None  # file-less: never writes artifacts
+        obs.metrics.inc("a")
+        first = worker_snapshot()
+        assert first["counters"] == {"a": 1.0}
+        second = worker_snapshot()  # fresh registry: only new deltas
+        assert second["counters"] == {}
+    finally:
+        runctx._CURRENT = previous
+
+
+def test_worker_snapshot_without_observer_is_none():
+    previous = runctx._CURRENT
+    try:
+        runctx._deactivate()
+        assert worker_snapshot() is None
+    finally:
+        runctx._CURRENT = previous

@@ -47,6 +47,68 @@ def test_serve_unknown_scheme_exits_2(capsys):
     assert "unknown scheme" in capsys.readouterr().err
 
 
+def test_serve_slo_pass_and_exhausted_exit_codes(cjpeg, capsys):
+    # A generous objective at a modest rate passes; an absurd one
+    # (zero-tolerance decision latency) exhausts its budget -> exit 3.
+    assert main(["serve", "--benchmark", "cjpeg", "--jobs", "20",
+                 "--rate", "300", "--virtual", "--predictor", "record",
+                 "--slo", "p99_decision_ms<1e4"]) == 0
+    out = capsys.readouterr().out
+    assert "slo p99_decision_ms<10000@99%" in out and "ok" in out
+    assert main(["serve", "--benchmark", "cjpeg", "--jobs", "20",
+                 "--rate", "300", "--virtual", "--predictor", "record",
+                 "--slo", "p99_decision_ms<=0"]) == 3
+    out = capsys.readouterr().out
+    assert "EXHAUSTED" in out and "slo budget exhausted" in out
+
+
+def test_serve_bad_slo_spec_exits_2(capsys):
+    assert main(["serve", "--benchmark", "cjpeg", "--jobs", "1",
+                 "--slo", "warp_speed<1"]) == 2
+    assert "unknown SLO signal" in capsys.readouterr().err
+
+
+def test_serve_slo_run_dir_artifacts_and_trace(cjpeg, tmp_path, capsys):
+    run_dir = tmp_path / "run"
+    trace = tmp_path / "trace.json"
+    code = main(["serve", "--benchmark", "cjpeg", "--jobs", "20",
+                 "--rate", "300", "--virtual", "--predictor", "record",
+                 "--slo", "miss_rate<=100%", "--slo-window-ms", "20",
+                 "--run-dir", str(run_dir)])
+    assert code == 0
+    capsys.readouterr()
+    # The windowed registry persisted and is named by the manifest.
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    assert manifest["timeseries_file"] == "timeseries.json"
+    timeseries = json.loads((run_dir / "timeseries.json").read_text())
+    assert timeseries["window_s"] == pytest.approx(0.02)
+    assert "serve.miss" in timeseries["series"]
+    # Burn-rate accounting landed in the manifest.
+    (row,) = manifest["slo"]
+    assert row["spec"] == "miss_rate<=1@99%"
+    assert row["windows"] > 0 and row["burn_rate"] == 0.0
+    assert row["exhausted"] is False
+    # The run dir renders with the windowed dashboard...
+    assert main(["report", str(run_dir),
+                 "--export-trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "serve (windows of 20 ms, virtual clock):" in out
+    assert "slo miss_rate<=1@99%" in out
+    # ...exports a loadable Chrome trace...
+    from repro.obs.export import validate_chrome_trace
+    payload = json.loads(trace.read_text())
+    assert validate_chrome_trace(payload) == []
+    assert any(e.get("ph") == "C" for e in payload["traceEvents"])
+    # ...and passes the artifact audit (sjob conservation included).
+    assert main(["check", str(run_dir)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_report_export_trace_requires_run_dir(capsys):
+    assert main(["report", "--export-trace", "out.json"]) == 2
+    assert "needs a captured run" in capsys.readouterr().err
+
+
 def test_serve_run_dir_captures_metrics(cjpeg, tmp_path, capsys):
     run_dir = tmp_path / "run"
     assert main(["serve", "--benchmark", "cjpeg", "--jobs", "15",
