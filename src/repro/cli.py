@@ -704,11 +704,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist flow artifacts (bare flag: ~/.cache/repro; "
              "default: REPRO_CACHE_DIR or disabled)")
     from .rtl import BACKENDS
+    from .rtl.backend import DEFAULT_BACKEND
     perf_opts.add_argument(
         "--backend", choices=BACKENDS, default=None,
-        help="simulation kernel: interp (tree-walking), compiled "
-             "(per-expression codegen) or stepjit (whole-module "
-             "codegen; default: REPRO_BACKEND or stepjit)")
+        help="simulation kernel, one of: "
+             f"{', '.join(BACKENDS)} (default: REPRO_BACKEND or "
+             f"{DEFAULT_BACKEND}); see docs/performance.md")
 
     sub.add_parser("list", help="list benchmarks and experiments")
 

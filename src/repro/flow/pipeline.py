@@ -166,7 +166,8 @@ def _recorded_matrix(module: Module,
             if observer is not None:
                 observer.metrics.inc("flow.record.cached")
             return cached
-    with span("record", design=design_name, jobs=len(jobs)):
+    with span("record", design=design_name, jobs=len(jobs),
+              backend=resolve_backend()):
         matrix = record_jobs(module, feature_set, jobs,
                              workers=workers)
     if cache is not None:

@@ -90,7 +90,8 @@ def summarize_perf(metrics: Dict) -> str:
     if skipped:
         lines.append(f"  record stage skipped for {int(skipped)} "
                      f"design(s) (cached feature matrix)")
-    for backend in ("stepjit", "compiled", "interp"):
+    from ..rtl.backend import BACKENDS
+    for backend in reversed(BACKENDS):
         runs = counters.get(f"sim.{backend}.runs", 0)
         if not runs:
             continue
@@ -103,11 +104,17 @@ def summarize_perf(metrics: Dict) -> str:
         jumps = counters.get(f"sim.{backend}.ff_jumps", 0)
         if jumps:
             line += f", {int(jumps)} fast-forward jump(s)"
-        if backend == "stepjit":
-            codegen = counters.get("sim.stepjit.codegen_s")
-            if codegen:
-                line += (f"; {int(counters.get('sim.stepjit.compiles', 0))}"
-                         f" kernel(s) in {codegen * 1e3:.0f} ms")
+        codegen = counters.get(f"sim.{backend}.codegen_s")
+        if codegen:
+            line += (f"; {int(counters.get(f'sim.{backend}.compiles', 0))}"
+                     f" kernel(s) in {codegen * 1e3:.0f} ms")
+        if backend == "batch":
+            rows = counters.get("sim.batch.rows", 0)
+            occupancy = gauges.get("sim.batch.occupancy")
+            if rows:
+                line += f"; {int(rows)} row(s)"
+            if occupancy is not None:
+                line += f", {occupancy * 100.0:.0f}% occupancy"
         lines.append(line)
     offered = counters.get("serve.offered", 0)
     if offered:

@@ -14,6 +14,14 @@ from .backend import (
     resolve_backend,
     set_default_backend,
 )
+from .batchsim import (
+    BatchEvents,
+    BatchProgram,
+    BatchRunResult,
+    BatchScalarSimulation,
+    BatchSimulation,
+    compile_batch_stepper,
+)
 from .compiled import CompiledExpr, compile_expr, compile_module
 from .counter import Counter, down_counter, up_counter
 from .dot import netlist_to_dot
@@ -45,7 +53,9 @@ from .verilog import to_verilog
 from .wave import VcdWriter
 
 __all__ = [
-    "BACKENDS", "BinOp", "Cell", "CompiledExpr", "Const", "Counter",
+    "BACKENDS", "BatchEvents", "BatchProgram", "BatchRunResult",
+    "BatchScalarSimulation", "BatchSimulation", "BinOp", "Cell",
+    "CompiledExpr", "Const", "Counter",
     "DatapathBlock",
     "ItemLoop", "LintFinding", "VcdWriter", "errors_only", "lint_module",
     "netlist_to_dot",
@@ -53,7 +63,8 @@ __all__ = [
     "Netlist", "Port", "Provenance", "Reg", "RunResult", "Sig",
     "Simulation", "StepProgram", "StepSimulation", "Transition", "UnOp",
     "Update", "Wire", "all_of",
-    "any_of", "compile_expr", "compile_module", "compile_stepper",
+    "any_of", "compile_batch_stepper", "compile_expr", "compile_module",
+    "compile_stepper",
     "compiled_clone", "derive_module",
     "down_counter", "make_simulation", "maximum", "minimum",
     "resolve_backend", "set_default_backend", "synthesize", "to_verilog",

@@ -1,6 +1,6 @@
-"""Simulation backend selection: ``interp`` | ``compiled`` | ``stepjit``.
+"""Simulation backend selection: interp | compiled | stepjit | batch.
 
-All three backends are cycle-exact (the differential fuzz suite and the
+All backends are cycle-exact (the differential fuzz suite and the
 golden gate enforce this), so the choice is purely a speed knob:
 
 * ``interp``   — the tree-walking interpreter (:class:`Simulation` on a
@@ -10,6 +10,12 @@ golden gate enforce this), so the choice is purely a speed knob:
 * ``stepjit``  — the whole-module step compiler
   (:class:`StepSimulation`): one generated function per cycle.  The
   default.
+* ``batch``    — the vectorized lockstep kernel
+  (:class:`BatchScalarSimulation` here; :class:`BatchSimulation` for
+  whole-job-list drivers such as ``record_jobs``): N jobs advance as
+  one numpy array program.  Fastest at batch widths ≫ 1; a listener
+  that needs per-cycle callbacks (``wants_cycles``) or lacks
+  ``absorb_batch_events`` silently falls back to ``stepjit``.
 
 Resolution priority: explicit argument > :func:`set_default_backend` >
 the ``REPRO_BACKEND`` environment variable > ``stepjit``.
@@ -26,12 +32,13 @@ import os
 from typing import Optional
 from weakref import WeakKeyDictionary
 
+from .batchsim import BatchScalarSimulation
 from .compiled import compile_module
 from .module import Module
 from .simulator import Simulation
 from .stepjit import StepSimulation
 
-BACKENDS = ("interp", "compiled", "stepjit")
+BACKENDS = ("interp", "compiled", "stepjit", "batch")
 DEFAULT_BACKEND = "stepjit"
 BACKEND_ENV = "REPRO_BACKEND"
 
@@ -93,6 +100,15 @@ def make_simulation(module: Module, *, backend: Optional[str] = None,
     (``listener``, ``fast_forward``, ``elide``, ``track_state_cycles``).
     """
     name = resolve_backend(backend)
+    if name == "batch":
+        listener = kwargs.get("listener")
+        if listener is not None and (
+                getattr(listener, "wants_cycles", False)
+                or not hasattr(listener, "absorb_batch_events")):
+            # Event columns cannot express per-cycle callbacks or
+            # arbitrary listener protocols; stepjit is cycle-exact.
+            return StepSimulation(module, **kwargs)
+        return BatchScalarSimulation(module, **kwargs)
     if name == "stepjit":
         return StepSimulation(module, **kwargs)
     if name == "compiled":

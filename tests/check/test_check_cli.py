@@ -7,6 +7,7 @@ import pytest
 
 from repro.cli import main
 from repro.dvfs import HistoryController
+from repro.rtl import BACKENDS
 from repro.obs import session
 from repro.runtime import run_episode
 from repro.units import DVFS_SWITCH_TIME, MS
@@ -129,11 +130,12 @@ def test_committed_goldens_match_a_fresh_run(capsys):
     assert "smoke ok" in out
 
 
-@pytest.mark.parametrize("backend", ["interp", "compiled", "stepjit"])
+@pytest.mark.parametrize("backend", BACKENDS)
 def test_committed_goldens_match_under_every_backend(backend, capsys):
     """Backend-equivalence gate: the committed goldens predate the
-    stepjit backend, so a golden match under each ``--backend`` proves
-    episodes, energy and misses are backend-invariant end to end."""
+    stepjit and batch backends, so a golden match under each
+    ``--backend`` proves episodes, energy and misses are
+    backend-invariant end to end."""
     from repro.rtl import set_default_backend
 
     try:

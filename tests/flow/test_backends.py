@@ -12,7 +12,7 @@ import pytest
 from repro.analysis import discover_features, record_jobs
 from repro.flow import FlowConfig, build_job_records, generate_predictor
 from repro.parallel import ArtifactCache, set_cache
-from repro.rtl import set_default_backend, synthesize
+from repro.rtl import BACKENDS, set_default_backend, synthesize
 from tests.conftest import ToyDesign, toy_workload
 
 
@@ -32,7 +32,7 @@ def _toy_record_parts():
     return module, feature_set, jobs
 
 
-@pytest.mark.parametrize("backend", ["interp", "compiled", "stepjit"])
+@pytest.mark.parametrize("backend", BACKENDS)
 def test_record_jobs_is_backend_invariant(backend):
     module, feature_set, jobs = _toy_record_parts()
     baseline = record_jobs(module, feature_set, jobs, backend="interp")
@@ -45,34 +45,39 @@ def test_flow_outputs_identical_across_backends():
     design = ToyDesign()
     items = toy_workload(25, seed=4)
     packages = {}
-    for backend in ("interp", "stepjit"):
+    for backend in ("interp", "stepjit", "batch"):
         set_default_backend(backend)
         packages[backend] = generate_predictor(
             design, items, FlowConfig(gamma=1e-4))
-    a, b = packages["interp"], packages["stepjit"]
-    assert np.array_equal(a.train_matrix.cycles, b.train_matrix.cycles)
-    assert np.array_equal(a.train_matrix.x, b.train_matrix.x)
-    assert a.gamma == b.gamma
-    assert np.array_equal(a.predictor.coeffs, b.predictor.coeffs)
-    assert a.predictor.intercept == b.predictor.intercept
+    a = packages["interp"]
+    for backend in ("stepjit", "batch"):
+        b = packages[backend]
+        assert np.array_equal(a.train_matrix.cycles,
+                              b.train_matrix.cycles)
+        assert np.array_equal(a.train_matrix.x, b.train_matrix.x)
+        assert a.gamma == b.gamma
+        assert np.array_equal(a.predictor.coeffs, b.predictor.coeffs)
+        assert a.predictor.intercept == b.predictor.intercept
 
 
 def test_job_records_identical_across_backends():
     design = ToyDesign()
     items = toy_workload(25, seed=4)
     per_backend = {}
-    for backend in ("interp", "stepjit"):
+    for backend in ("interp", "stepjit", "batch"):
         set_default_backend(backend)
         package = generate_predictor(design, items, FlowConfig(gamma=1e-4))
         per_backend[backend] = build_job_records(
             design, package, toy_workload(8, seed=5))
-    for rec_i, rec_s in zip(per_backend["interp"], per_backend["stepjit"]):
-        assert rec_i.actual_cycles == rec_s.actual_cycles
-        assert rec_i.slice_cycles == rec_s.slice_cycles
-        assert rec_i.predicted_cycles == pytest.approx(
-            rec_s.predicted_cycles)
-        assert np.array_equal(rec_i.features, rec_s.features)
-        assert rec_i.activity == rec_s.activity
+    for backend in ("stepjit", "batch"):
+        for rec_i, rec_s in zip(per_backend["interp"],
+                                per_backend[backend]):
+            assert rec_i.actual_cycles == rec_s.actual_cycles
+            assert rec_i.slice_cycles == rec_s.slice_cycles
+            assert rec_i.predicted_cycles == pytest.approx(
+                rec_s.predicted_cycles)
+            assert np.array_equal(rec_i.features, rec_s.features)
+            assert rec_i.activity == rec_s.activity
 
 
 def test_feature_matrix_cache_key_is_backend_invariant(tmp_path):
@@ -86,9 +91,10 @@ def test_feature_matrix_cache_key_is_backend_invariant(tmp_path):
         generate_predictor(design, items, FlowConfig(gamma=1e-4))
         cold_puts = cache.stats.puts
         assert cold_puts >= 1
-        set_default_backend("stepjit")
-        generate_predictor(design, items, FlowConfig(gamma=1e-4))
-        assert cache.stats.hits >= 1
-        assert cache.stats.puts == cold_puts  # nothing re-recorded
+        for backend in ("stepjit", "batch"):
+            set_default_backend(backend)
+            generate_predictor(design, items, FlowConfig(gamma=1e-4))
+            assert cache.stats.hits >= 1
+            assert cache.stats.puts == cold_puts  # nothing re-recorded
     finally:
         set_cache(None)
