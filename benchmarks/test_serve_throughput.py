@@ -16,18 +16,26 @@ accounting and latency-sanity assertions run everywhere.
 import json
 import os
 import pathlib
+import time
 
 import pytest
 
+from repro.check import check_fleet
 from repro.experiments import bundle_for, make_controller, tech_context
 from repro.serve import (
     AcceleratorStream,
+    FleetConfig,
     LoadReport,
+    RecordPredictor,
     ServeConfig,
+    ShardSpec,
     SlicePredictor,
+    build_mixed_stream,
     build_stream_jobs,
     poisson_arrivals,
+    serve_fleet,
     serve_stream,
+    virtual_outcomes,
 )
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -126,3 +134,114 @@ def test_write_bench_serve_json(serve_bench):
     assert loaded["jobs_per_s"] > 0.0
     assert loaded["p99_decision_ms"] >= loaded["p50_decision_ms"] > 0.0
     assert 0.0 <= loaded["fallback_rate"] <= 1.0
+
+
+# -- fleet throughput: 4 shards vs the single-stream reference -------
+
+FLEET_SHARDS = 4
+FLEET_JOBS = 10_000
+FLEET_RATE = 2_000.0   # virtual jobs/s: saturating, so compute-bound
+
+
+@pytest.fixture(scope="session")
+def fleet_bench():
+    """The same offered stream three ways: one stream serially, the
+    4-shard fleet serially, and the 4-shard fleet across 4 workers —
+    all on the virtual clock, so wall time measures the serving
+    machinery itself."""
+    bundle = bundle_for(BENCHMARK, SCALE)
+    ctx = tech_context(bundle, tech="asic")
+    arrivals = poisson_arrivals(FLEET_RATE, n_jobs=FLEET_JOBS,
+                                seed=SEED)
+    serve_config = ServeConfig(deadline=ctx.config.deadline,
+                               t_switch=ctx.config.t_switch)
+
+    def make_specs():
+        # Fresh controllers per run: reactive state must not leak.
+        return [ShardSpec(
+            name=f"{BENCHMARK}#{i}", benchmark=BENCHMARK,
+            controller=make_controller(ctx, SCHEME),
+            energy_model=ctx.energy_model,
+            slice_energy_model=ctx.slice_energy_model,
+            predictor=RecordPredictor(), config=serve_config)
+            for i in range(FLEET_SHARDS)]
+
+    stream = AcceleratorStream(
+        BENCHMARK, make_controller(ctx, SCHEME),
+        ctx.energy_model, ctx.slice_energy_model,
+        predictor=RecordPredictor(), config=serve_config)
+    t0 = time.perf_counter()
+    single = serve_stream(stream, build_stream_jobs(bundle, arrivals))
+    single_wall = time.perf_counter() - t0
+
+    jobs = build_mixed_stream({BENCHMARK: bundle}, arrivals, seed=SEED)
+    config = FleetConfig(policy="round_robin", strict=False)
+    runs = {}
+    for workers in (1, FLEET_SHARDS):
+        t0 = time.perf_counter()
+        runs[workers] = serve_fleet(make_specs(), jobs, config,
+                                    workers=workers)
+        runs[workers].wall_s = time.perf_counter() - t0
+    return single, single_wall, runs
+
+
+def test_fleet_accounting_is_clean(fleet_bench):
+    single, _, runs = fleet_bench
+    assert single.n_offered == FLEET_JOBS
+    for result in runs.values():
+        assert result.n_offered == FLEET_JOBS
+        assert (result.n_completed + result.n_fallback + result.n_shed
+                == FLEET_JOBS)
+        assert check_fleet(result) == []
+
+
+def test_fleet_outcomes_bit_identical_across_workers(fleet_bench):
+    """Acceptance: under round-robin, a 4-worker run reproduces the
+    serial reference per-job — same routing, same sheds, and
+    bit-identical virtual outcomes on every shard."""
+    _, _, runs = fleet_bench
+    serial, parallel = runs[1], runs[FLEET_SHARDS]
+    assert serial.assignments == parallel.assignments
+    assert serial.sheds == parallel.sheds
+    for a, b in zip(serial.shards, parallel.shards):
+        assert virtual_outcomes(a) == virtual_outcomes(b)
+
+
+def test_fleet_beats_single_stream_2x(fleet_bench):
+    """Acceptance: 4 shards sustain at least twice the single-stream
+    jobs/s (gated to hosts with real parallelism)."""
+    if not ENOUGH_CPUS:
+        pytest.skip("speedup gate needs >= 4 CPUs")
+    _, single_wall, runs = fleet_bench
+    single_rate = FLEET_JOBS / single_wall
+    fleet_rate = FLEET_JOBS / runs[FLEET_SHARDS].wall_s
+    assert fleet_rate >= 2.0 * single_rate
+
+
+def test_write_bench_fleet_json(fleet_bench):
+    """Fold the fleet figures into BENCH_serve.json (read-modify-
+    write: the single-stream record may already be there)."""
+    _, single_wall, runs = fleet_bench
+    record = (json.loads(BENCH_PATH.read_text())
+              if BENCH_PATH.exists() else {"schema": 1})
+    parallel = runs[FLEET_SHARDS]
+    record["fleet"] = {
+        "shards": FLEET_SHARDS,
+        "policy": parallel.policy,
+        "n_jobs": FLEET_JOBS,
+        "offered_rate_virtual": FLEET_RATE,
+        "cpu_count": os.cpu_count(),
+        "single_stream_jobs_per_s": FLEET_JOBS / single_wall,
+        "fleet_serial_jobs_per_s": FLEET_JOBS / runs[1].wall_s,
+        "fleet_parallel_jobs_per_s": FLEET_JOBS / parallel.wall_s,
+        "n_completed": parallel.n_completed,
+        "n_fallback": parallel.n_fallback,
+        "n_shed": parallel.n_shed,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True)
+                          + "\n")
+    loaded = json.loads(BENCH_PATH.read_text())["fleet"]
+    assert loaded["fleet_parallel_jobs_per_s"] > 0.0
+    assert loaded["single_stream_jobs_per_s"] > 0.0
+    assert (loaded["n_completed"] + loaded["n_fallback"]
+            + loaded["n_shed"] == FLEET_JOBS)

@@ -46,6 +46,7 @@ from ..runtime.episode import EpisodeResult, switch_window_energy
 from ..units import DVFS_SWITCH_TIME, TIME_EPS_REL, deadline_missed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..serve.fleet import FleetResult
     from ..serve.server import StreamResult
 
 
@@ -480,6 +481,120 @@ def check_stream(result: "StreamResult",
     if observer is not None:
         observer.metrics.inc("check.streams")
         observer.metrics.inc("check.jobs", len(result.outcomes))
+        if violations:
+            observer.metrics.inc("check.violations", len(violations))
+
+    return violations
+
+
+def check_fleet(result: "FleetResult",
+                rel_eps: float = TIME_EPS_REL,
+                energy_rel_eps: float = 1e-9
+                ) -> List[InvariantViolation]:
+    """Re-derive the fleet-wide accounting of a dispatched run.
+
+    The fleet analogue of :func:`check_stream`.  Every shard is first
+    replayed through :func:`check_stream` with its own spec's energy
+    models, level table, and capability flags (the per-stream
+    identities must hold *inside* each shard), then the dispatcher
+    tier's own laws are checked on top:
+
+    * ``fleet.conservation`` — offered equals dispatcher sheds plus
+      the sum of shard offers, and the fleet-wide index space
+      ``0..n_offered-1`` partitions *exactly* between dispatcher sheds
+      and shard outcomes (no job lost, duplicated, or invented);
+    * ``fleet.routing`` — every shard outcome belongs to a job whose
+      benchmark tag matches that shard's benchmark, and agrees with
+      the dispatcher's recorded assignment;
+    * ``fleet.shed`` — every dispatcher shed carries a known reason;
+    * ``fleet.tenant`` — conservation holds *per tenant*: each
+      tenant's offered count equals its completed + fallback + shed
+      across dispatcher and shards.
+    """
+    violations: List[InvariantViolation] = []
+
+    def bad(code: str, job: Optional[int], message: str,
+            expected: object = None, actual: object = None) -> None:
+        violations.append(InvariantViolation(
+            code=code, job_index=job, message=message,
+            expected=expected, actual=actual))
+
+    # -- per-shard stream identities ----------------------------------
+    for shard_index, (spec, shard) in enumerate(
+            zip(result.specs, result.shards)):
+        violations.extend(check_stream(
+            shard,
+            energy_model=spec.energy_model,
+            slice_energy_model=spec.slice_energy_model,
+            levels=spec.controller.levels,
+            t_switch=spec.config.t_switch,
+            uses_slice=spec.controller.uses_slice,
+            charge_overheads=spec.controller.charge_overheads,
+            rel_eps=rel_eps,
+            energy_rel_eps=energy_rel_eps,
+        ))
+
+        # -- routing: only matching-benchmark jobs on this shard -------
+        for o in shard.outcomes:
+            tagged = result.benchmarks.get(o.index)
+            if tagged != spec.benchmark:
+                bad("fleet.routing", o.index,
+                    f"job tagged {tagged!r} landed on shard "
+                    f"{spec.name!r} serving {spec.benchmark!r}",
+                    expected=spec.benchmark, actual=tagged)
+            assigned = result.assignments.get(o.index)
+            if assigned != shard_index:
+                bad("fleet.routing", o.index,
+                    "outcome shard disagrees with the dispatcher's "
+                    "recorded assignment",
+                    expected=assigned, actual=shard_index)
+
+    # -- dispatcher sheds ---------------------------------------------
+    from ..serve.fleet import SHED_REASONS
+
+    for shed in result.sheds:
+        if shed.reason not in SHED_REASONS:
+            bad("fleet.shed", shed.index,
+                f"unknown dispatcher shed reason {shed.reason!r}",
+                expected=SHED_REASONS, actual=shed.reason)
+
+    # -- fleet-wide conservation --------------------------------------
+    n_shard_offered = sum(r.n_offered for r in result.shards)
+    if len(result.sheds) + n_shard_offered != result.n_offered:
+        bad("fleet.conservation", None,
+            "dispatcher sheds + shard offers do not add up to the "
+            "fleet's offered count",
+            expected=result.n_offered,
+            actual=len(result.sheds) + n_shard_offered)
+    seen = [shed.index for shed in result.sheds]
+    for shard in result.shards:
+        seen.extend(o.index for o in shard.outcomes)
+    if len(set(seen)) != len(seen):
+        bad("fleet.conservation", None,
+            "a fleet index terminated more than once across "
+            "dispatcher sheds and shard outcomes",
+            expected=len(seen), actual=len(set(seen)))
+    expected_indices = set(range(result.n_offered))
+    if set(seen) != expected_indices:
+        missing = sorted(expected_indices - set(seen))[:5]
+        extra = sorted(set(seen) - expected_indices)[:5]
+        bad("fleet.conservation", None,
+            "fleet indices do not partition 0..n_offered-1 "
+            f"(missing {missing}, unexpected {extra})",
+            expected=result.n_offered, actual=len(set(seen)))
+
+    # -- per-tenant conservation --------------------------------------
+    for tenant, row in sorted(result.tenant_summary().items()):
+        settled = row["completed"] + row["fallback"] + row["shed"]
+        if settled != row["offered"]:
+            bad("fleet.tenant", None,
+                f"tenant {tenant!r}: completed + fallback + shed does "
+                "not add up to offered",
+                expected=row["offered"], actual=settled)
+
+    observer = get_observer()
+    if observer is not None:
+        observer.metrics.inc("check.fleets")
         if violations:
             observer.metrics.inc("check.violations", len(violations))
 

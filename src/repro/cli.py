@@ -548,6 +548,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     duration, n_jobs = args.duration, args.n_jobs
     if duration is None and n_jobs is None:
         duration = 2.0
+    if args.fleet is not None:
+        return _serve_fleet_cli(args, duration, n_jobs)
     if args.cache_dir:
         from .parallel import ArtifactCache, set_cache
         set_cache(ArtifactCache(args.cache_dir))
@@ -627,6 +629,152 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             report = LoadReport.from_result(result, mode="open",
                                             offered_rate=args.rate)
             print(report.describe())
+        if obs is not None and obs.slo is not None:
+            print("slo:")
+            print(obs.slo.describe())
+            slo_exhausted = obs.slo.exhausted
+        if obs is not None and (args.profile or args.run_dir):
+            _print_stage_timings(obs, args.run_dir)
+    _print_cache_stats()
+    print("serve: " + ("ok" if failures == 0
+                       else f"{failures} violation(s)")
+          + (", slo budget exhausted" if slo_exhausted else ""))
+    if failures:
+        return 1
+    return 3 if slo_exhausted else 0
+
+
+def _serve_fleet_cli(args: argparse.Namespace, duration, n_jobs) -> int:
+    """The ``serve --fleet N`` path: one mixed stream over a pool.
+
+    Pool instances are spread round-robin across the listed
+    benchmarks (each instance serves exactly one benchmark — the pool
+    is heterogeneous), the dispatcher routes the interleaved stream by
+    ``--policy``, and shard execution fans out over ``--workers``
+    processes.  Fleet serving runs on the virtual clock and replays
+    precomputed predictions (a live slice simulation does not cross
+    the process boundary).
+    """
+    from .check import check_fleet
+    from .experiments.runner import (
+        bundle_for,
+        make_controller,
+        tech_context,
+    )
+    from .serve import (
+        FleetConfig,
+        LoadReport,
+        RecordPredictor,
+        ServeConfig,
+        ShardSpec,
+        build_mixed_stream,
+        burst_arrivals,
+        parse_tenants,
+        poisson_arrivals,
+        serve_fleet,
+    )
+    from .units import MS
+
+    benchmarks = list(args.benchmark)
+    if args.fleet < len(benchmarks):
+        print(f"--fleet {args.fleet} cannot cover {len(benchmarks)} "
+              "benchmarks (each needs at least one instance)",
+              file=sys.stderr)
+        return 2
+    try:
+        tenants = parse_tenants(args.tenants)
+        config = FleetConfig(policy=args.policy,
+                             global_depth=args.global_depth,
+                             elastic=args.elastic,
+                             strict=False)  # checked explicitly below
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.cache_dir:
+        from .parallel import ArtifactCache, set_cache
+        set_cache(ArtifactCache(args.cache_dir))
+    slo_specs = []
+    if args.slo:
+        from .obs import parse_slo
+        try:
+            slo_specs = [parse_slo(text) for text in args.slo]
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    failures = 0
+    slo_exhausted = False
+    with _maybe_observe(args, "serve --fleet "
+                        + " ".join(benchmarks),
+                        force=bool(slo_specs)) as obs:
+        if obs is not None:
+            if args.slo_window_ms is not None:
+                from .obs import TimeSeriesRegistry
+                obs.timeseries = TimeSeriesRegistry(
+                    window_s=args.slo_window_ms * 1e-3)
+            if slo_specs:
+                from .obs import SloTracker
+                obs.slo = SloTracker(slo_specs)
+        bundles = {}
+        contexts = {}
+        for bench in benchmarks:
+            bundles[bench] = bundle_for(bench, args.scale)
+            contexts[bench] = tech_context(bundles[bench],
+                                           tech=args.tech)
+        specs = []
+        for i in range(args.fleet):
+            bench = benchmarks[i % len(benchmarks)]
+            ctx = contexts[bench]
+            specs.append(ShardSpec(
+                name=f"{bench}#{i}", benchmark=bench,
+                controller=make_controller(ctx, args.scheme),
+                energy_model=ctx.energy_model,
+                slice_energy_model=ctx.slice_energy_model,
+                predictor=RecordPredictor(),
+                config=ServeConfig(
+                    deadline=(args.deadline_ms * MS
+                              if args.deadline_ms is not None
+                              else ctx.config.deadline),
+                    t_switch=ctx.config.t_switch,
+                    queue_depth=args.queue_depth,
+                    batch_max=args.batch,
+                )))
+        if args.arrival == "burst":
+            arrivals = burst_arrivals(
+                args.rate, duration if duration is not None
+                else n_jobs / args.rate, seed=args.seed)
+        else:
+            arrivals = poisson_arrivals(
+                args.rate, duration=duration, n_jobs=n_jobs,
+                seed=args.seed)
+        jobs = build_mixed_stream(
+            bundles, arrivals, seed=args.seed,
+            tenants=[t.name for t in tenants])
+        result = serve_fleet(specs, jobs, config=config,
+                             tenants=tenants, workers=args.workers)
+        for spec, shard in zip(result.specs, result.shards):
+            print(LoadReport.from_result(shard, mode="open").describe())
+        print(result.describe())
+        for tenant, row in sorted(result.tenant_summary().items()):
+            print(f"tenant {tenant}: offered={row['offered']} "
+                  f"completed={row['completed']} "
+                  f"fallback={row['fallback']} shed={row['shed']}")
+        violations = check_fleet(result)
+        for violation in violations:
+            print(f"VIOLATION: fleet/{result.policy} {violation}")
+        failures += len(violations)
+        if obs is not None:
+            # The per-shard serve counters reach this (parent) registry
+            # through the pool's snapshot ship-back; printing them here
+            # is what the CI smoke asserts survives --workers N.
+            counters = obs.metrics.counters
+            print("fleet counters: "
+                  f"offered={counters.get('serve.offered', 0):.0f} "
+                  f"completed={counters.get('serve.completed', 0):.0f} "
+                  f"fallback={counters.get('serve.fallback', 0):.0f} "
+                  f"shed={counters.get('serve.shed', 0):.0f} "
+                  "dropped="
+                  f"{counters.get('pool.dropped_observers', 0):.0f}")
         if obs is not None and obs.slo is not None:
             print("slo:")
             print(obs.slo.describe())
@@ -808,6 +956,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--virtual", action="store_true",
                    help="drive the virtual clock flat-out instead of "
                         "pacing arrivals against the wall clock")
+    p.add_argument("--fleet", type=int, default=None, metavar="N",
+                   help="dispatch ONE mixed stream across a pool of N "
+                        "accelerator instances (spread round-robin "
+                        "over the listed benchmarks) instead of one "
+                        "independent stream per benchmark")
+    p.add_argument("--policy", default="least_loaded",
+                   choices=("round_robin", "least_loaded",
+                            "energy_aware", "deadline"),
+                   help="fleet routing policy (default: least_loaded)")
+    p.add_argument("--tenants", default="default", metavar="SPEC",
+                   help="comma-separated tenant contracts, each "
+                        "name[:rate=R][:burst=B] (default: one "
+                        "unlimited 'default' tenant)")
+    p.add_argument("--elastic", action="store_true",
+                   help="scale pool instances up/down against "
+                        "backlog watermarks")
+    p.add_argument("--global-depth", type=int, default=512,
+                   help="fleet-wide admission bound on projected "
+                        "backlog (default 512)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker processes for fleet shard execution "
+                        "(default: REPRO_JOBS or serial)")
     p.add_argument("--slo", action="append", default=None,
                    metavar="SPEC",
                    help="windowed SLO to enforce, e.g. 'miss_rate<5%%' "

@@ -11,27 +11,38 @@ protocol that keeps them:
   the forked parent observer with a fresh in-memory one;
 * :func:`worker_snapshot` — called at the end of each work chunk:
   detach the chunk's bucket-level
-  :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` payload and reset
-  the worker registry, so every chunk ships exactly its own deltas;
+  :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` payload plus its
+  windowed :class:`~repro.obs.timeseries.TimeSeriesRegistry` state and
+  reset both, so every chunk ships exactly its own deltas;
 * :func:`absorb_snapshots` — called in the parent after the map:
   merge every shipped payload into the ambient registry (counters
-  add, histograms merge bucket-for-bucket), counting any chunk that
-  arrived without telemetry in ``pool.dropped_observers`` so reports
-  can flag undercounted runs.
+  add, histograms merge bucket-for-bucket, time-series windows merge
+  cell-for-cell), counting any chunk that arrived without telemetry
+  in ``pool.dropped_observers`` — and any whose windowed series were
+  bucketed differently than the parent's in
+  ``pool.dropped_timeseries`` — so reports can flag undercounted
+  runs.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional
 
 from .metrics import MetricsRegistry
 from .runctx import Observer, get_observer
+from .timeseries import TimeSeriesRegistry
 from .tracer import Tracer
 
 #: Counter flagging chunks whose worker telemetry could not be
 #: captured — a nonzero value means aggregate ``sim.*``/histogram
 #: figures undercount the run.
 DROPPED_COUNTER = "pool.dropped_observers"
+
+#: Counter flagging chunks whose windowed time series could not be
+#: merged (worker window width differed from the parent's) — the
+#: aggregate ``serve.*`` window record undercounts those chunks.
+DROPPED_TIMESERIES = "pool.dropped_timeseries"
 
 
 def activate_worker() -> None:
@@ -48,19 +59,28 @@ def activate_worker() -> None:
 
 
 def worker_snapshot() -> Optional[Dict]:
-    """Detach and return the worker's metrics since the last call.
+    """Detach and return the worker's telemetry since the last call.
 
-    Returns the bucket-level registry payload (``None`` when no
-    observer is installed — the parent counts that as a dropped
-    observer).  The worker's registry and tracer are reset so the next
-    chunk ships only its own deltas and span memory stays bounded
+    Returns ``{"metrics": ..., "timeseries": ...}`` — the bucket-level
+    metrics payload plus the windowed time-series state (``None`` when
+    that chunk recorded no windowed samples), or ``None`` when no
+    observer is installed at all (the parent counts that as a dropped
+    observer).  The worker's registries and tracer are reset so the
+    next chunk ships only its own deltas and span memory stays bounded
     across long maps.
     """
     observer = get_observer()
     if observer is None:
         return None
-    payload = observer.metrics.to_dict()
+    payload: Dict = {"metrics": observer.metrics.to_dict()}
+    timeseries = observer.timeseries
+    payload["timeseries"] = (timeseries.to_dict() if timeseries
+                             else None)
     observer.metrics = MetricsRegistry()
+    observer.timeseries = TimeSeriesRegistry(
+        window_s=timeseries.window_s,
+        capacity=timeseries.capacity,
+        sketch_accuracy=timeseries.sketch_accuracy)
     observer.tracer = Tracer()
     return payload
 
@@ -76,10 +96,25 @@ def absorb_snapshots(snapshots: List[Optional[Dict]]) -> None:
     if observer is None:
         return
     dropped = 0
+    dropped_ts = 0
     for payload in snapshots:
         if payload is None:
             dropped += 1
-        else:
+            continue
+        if "metrics" not in payload:
+            # Legacy flat shape: the payload *is* the metrics dict.
             observer.metrics.merge_dict(payload)
+            continue
+        observer.metrics.merge_dict(payload["metrics"])
+        ts_payload = payload.get("timeseries")
+        if ts_payload is None:
+            continue
+        incoming = TimeSeriesRegistry.from_dict(ts_payload)
+        if math.isclose(incoming.window_s, observer.timeseries.window_s):
+            observer.timeseries.merge(incoming)
+        else:
+            dropped_ts += 1
     if dropped:
         observer.metrics.inc(DROPPED_COUNTER, dropped)
+    if dropped_ts:
+        observer.metrics.inc(DROPPED_TIMESERIES, dropped_ts)

@@ -128,6 +128,22 @@ def summarize_perf(metrics: Dict) -> str:
             line += (f"; decision p50/p99 "
                      f"{decision['p50']:.3g}/{decision['p99']:.3g} ms")
         lines.append(line)
+    fleet_offered = counters.get("serve.fleet.offered", 0)
+    if fleet_offered:
+        line = (f"  fleet: {int(fleet_offered)} offered, "
+                f"{int(counters.get('serve.fleet.routed', 0))} routed; "
+                "shed admission/rate/deadline "
+                f"{int(counters.get('serve.fleet.shed.admission', 0))}/"
+                f"{int(counters.get('serve.fleet.shed.rate_limit', 0))}/"
+                f"{int(counters.get('serve.fleet.shed.deadline', 0))}")
+        active = gauges.get("serve.fleet.active")
+        if active is not None:
+            line += f", {int(active)} active instance(s)"
+        ups = counters.get("serve.fleet.scale_up", 0)
+        downs = counters.get("serve.fleet.scale_down", 0)
+        if ups or downs:
+            line += f", {int(ups)} up / {int(downs)} down rescale(s)"
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -239,7 +255,9 @@ def summarize_serve_windows(ts: TimeSeriesRegistry,
         lines.append(f"  ({group} windows of {ts.window_s:g} s "
                      f"merged per row)")
     for series, label in (("serve.miss", "miss rate "),
-                          ("serve.energy_per_job", "energy/job")):
+                          ("serve.energy_per_job", "energy/job"),
+                          ("serve.fleet.backlog", "fleet backlog"),
+                          ("serve.fleet.shed", "fleet shed ")):
         values = [cell.mean for _, cell in ts.windows(series)]
         if len(values) > 1:
             lines.append(f"  {label} {sparkline(values)}")

@@ -31,7 +31,6 @@ undercounted runs.
 
 from __future__ import annotations
 
-import math
 import multiprocessing
 import os
 import time
@@ -128,6 +127,32 @@ def _note_metrics(label: str, n_tasks: int, workers: int,
     metrics.observe("pool.map_s", wall_s)
 
 
+def balanced_chunks(items: Sequence[T], n_chunks: int) -> List[List[T]]:
+    """Split ``items`` into ``n_chunks`` contiguous, balanced chunks.
+
+    Chunk sizes differ by at most one and no chunk is empty (the chunk
+    count is capped at ``len(items)``), so a split never produces the
+    degenerate shapes naive ``ceil(n / target)`` slicing yields when
+    ``n`` barely exceeds — or falls short of — the chunk target.
+    Concatenating the chunks reproduces ``items`` exactly, in order.
+    """
+    items = list(items)
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    n = len(items)
+    if n == 0:
+        return []
+    n_chunks = min(n_chunks, n)
+    base, extra = divmod(n, n_chunks)
+    chunks: List[List[T]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
+
+
 def pmap(fn: Callable[[T], R], items: Sequence[T],
          jobs: Optional[int] = None,
          chunk_size: Optional[int] = None,
@@ -157,8 +182,10 @@ def pmap(fn: Callable[[T], R], items: Sequence[T],
         _note_metrics(label, n, 1, busy, busy)
         return results
     if chunk_size is None:
-        chunk_size = max(1, math.ceil(n / (workers * 4)))
-    chunks = [items[i:i + chunk_size] for i in range(0, n, chunk_size)]
+        chunks = balanced_chunks(items, workers * 4)
+    else:
+        chunks = [items[i:i + chunk_size]
+                  for i in range(0, n, chunk_size)]
     context = _pool_context()
     if context is None:  # no usable start method: degrade gracefully
         return pmap(fn, items, jobs=1, label=label)

@@ -10,6 +10,25 @@ micro-batched slice prediction and graceful fallback, and
 invariants live in :func:`repro.check.check_stream`.
 """
 
+from .fleet import (
+    DEADLINE,
+    ENERGY_AWARE,
+    LEAST_LOADED,
+    POLICIES,
+    ROUND_ROBIN,
+    SHED_REASONS,
+    FleetConfig,
+    FleetDispatcher,
+    FleetResult,
+    FleetShed,
+    RoutingDecision,
+    ShardSpec,
+    TenantSpec,
+    TokenBucket,
+    parse_tenants,
+    serve_fleet,
+    virtual_outcomes,
+)
 from .loadgen import LoadReport, percentile, run_closed_loop, run_open_loop
 from .server import (
     COMPLETED,
@@ -26,20 +45,28 @@ from .server import (
     serve_streams,
 )
 from .stream import (
+    FleetJob,
     StreamJob,
+    build_mixed_stream,
     build_stream_jobs,
     burst_arrivals,
+    mixed_stream_jobs,
     poisson_arrivals,
     stream_from_records,
     trace_replay,
 )
 
 __all__ = [
-    "COMPLETED", "FALLBACK", "SHED", "TERMINAL_STATES",
-    "AcceleratorStream", "LoadReport", "RecordPredictor", "ServeConfig",
-    "SlicePredictor", "StreamJob", "StreamOutcome", "StreamResult",
-    "build_stream_jobs", "burst_arrivals", "percentile",
-    "poisson_arrivals", "run_closed_loop", "run_open_loop",
-    "serve_stream", "serve_streams", "stream_from_records",
-    "trace_replay",
+    "COMPLETED", "DEADLINE", "ENERGY_AWARE", "FALLBACK",
+    "LEAST_LOADED", "POLICIES", "ROUND_ROBIN", "SHED",
+    "SHED_REASONS", "TERMINAL_STATES",
+    "AcceleratorStream", "FleetConfig", "FleetDispatcher", "FleetJob",
+    "FleetResult", "FleetShed", "LoadReport", "RecordPredictor",
+    "RoutingDecision", "ServeConfig", "ShardSpec", "SlicePredictor",
+    "StreamJob", "StreamOutcome", "StreamResult", "TenantSpec",
+    "TokenBucket", "build_mixed_stream", "build_stream_jobs",
+    "burst_arrivals", "mixed_stream_jobs", "parse_tenants",
+    "percentile", "poisson_arrivals", "run_closed_loop",
+    "run_open_loop", "serve_fleet", "serve_stream", "serve_streams",
+    "stream_from_records", "trace_replay", "virtual_outcomes",
 ]

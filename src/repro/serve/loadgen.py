@@ -18,6 +18,7 @@ wall-clock decisions), and fallback/shed/miss rates — the fields
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
@@ -27,14 +28,23 @@ from .stream import StreamJob, poisson_arrivals, stream_from_records
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Exact nearest-rank percentile of an ascending sample."""
+    """Exact nearest-rank percentile of an ascending sample.
+
+    The inverted-CDF definition (``numpy.percentile(...,
+    method="inverted_cdf")``): the smallest sample value ``v`` with
+    ``CDF(v) >= q/100``, i.e. 1-based rank ``max(1, ceil(q/100 * n))``.
+    Always an element of the sample — never interpolated — so p99 of a
+    latency run is a latency that actually happened.  An empty sample
+    reports 0.0 (numpy raises; a report over zero executed jobs should
+    render, not crash).
+    """
     if not sorted_values:
         return 0.0
     if not 0.0 <= q <= 100.0:
         raise ValueError("percentile must be in [0, 100]")
-    rank = max(0, min(len(sorted_values) - 1,
-                      int(round(q / 100.0 * (len(sorted_values) - 1)))))
-    return sorted_values[rank]
+    n = len(sorted_values)
+    rank = max(1, math.ceil(q / 100.0 * n))
+    return sorted_values[min(rank, n) - 1]
 
 
 @dataclass(frozen=True)

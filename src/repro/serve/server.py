@@ -308,6 +308,12 @@ class AcceleratorStream:
         self.config = config
         self._queue: deque = deque()     # admitted, not yet executed
         self._finishes: deque = deque()  # virtual finishes of executed
+        #: Incremental in-flight counter: executed jobs whose virtual
+        #: finish has not yet been passed by an arrival.  Maintained at
+        #: execute/expiry so admission never rescans outcomes — at
+        #: fleet scale a per-arrival rescan of the outcome list is
+        #: O(n²) over the stream.
+        self._in_flight = 0
         self.outcomes: List[StreamOutcome] = []
         self.n_offered = 0
         self.now = 0.0
@@ -332,10 +338,16 @@ class AcceleratorStream:
         controller would read off its queue — computed here from the
         simulated clock so virtual and realtime modes shed
         identically under the same arrival sequence.
+
+        Amortized O(1): the in-flight count is carried incrementally
+        (incremented per execute, decremented as finishes expire), and
+        each finish instant is enqueued and expired exactly once over
+        the stream's lifetime.
         """
         while self._finishes and self._finishes[0] <= arrival:
             self._finishes.popleft()
-        return len(self._queue) + len(self._finishes)
+            self._in_flight -= 1
+        return len(self._queue) + self._in_flight
 
     def _shed(self, sjob: StreamJob) -> None:
         self.outcomes.append(StreamOutcome(
@@ -463,6 +475,7 @@ class AcceleratorStream:
         self.now = finish
         self._previous = point
         self._finishes.append(finish)
+        self._in_flight += 1
         controller.observe(record)
 
         outcome = StreamOutcome(

@@ -13,7 +13,13 @@ reproducible from ``(benchmark, scale, rate, seed)`` alone.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 import numpy as np
 
@@ -135,6 +141,117 @@ def stream_from_records(records: Sequence[JobRecord],
             job_input=inputs[k] if inputs is not None else None,
         ))
     return jobs
+
+
+@dataclass(frozen=True)
+class FleetJob:
+    """One job of a *mixed* fleet stream: a tagged :class:`StreamJob`.
+
+    The fleet dispatcher routes on the tags — ``benchmark`` names the
+    accelerator type the job needs (only instances of that type are
+    candidates) and ``tenant`` names the paying client the per-tenant
+    rate limits and conservation identities key on.  The wrapped
+    ``job`` carries the fleet-wide dense index, so one index space
+    spans dispatcher sheds and every shard's outcomes.
+    """
+
+    benchmark: str
+    tenant: str
+    job: StreamJob
+
+    @property
+    def index(self) -> int:
+        return self.job.index
+
+    @property
+    def arrival(self) -> float:
+        return self.job.arrival
+
+
+def mixed_stream_jobs(records_by_benchmark: Mapping[str, Sequence[JobRecord]],
+                      arrivals: Sequence[float],
+                      seed: int = 0,
+                      weights: Optional[Mapping[str, float]] = None,
+                      tenants: Sequence[str] = ("default",),
+                      inputs_by_benchmark: Optional[
+                          Mapping[str, Sequence["JobInput"]]] = None
+                      ) -> List[FleetJob]:
+    """One interleaved job stream over several benchmarks and tenants.
+
+    Each arrival instant draws a benchmark (optionally ``weights``-
+    biased, uniform otherwise) and a tenant (uniform) from a seeded
+    generator, then cycles that benchmark's records — so the whole
+    mixed stream is reproducible from ``(records, arrivals, seed)``
+    alone.  Jobs are re-indexed 0..n-1 *fleet-wide* in arrival order;
+    per-benchmark record cycling is independent of the interleaving.
+    """
+    if not records_by_benchmark:
+        raise ValueError("need at least one benchmark to mix")
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    names = list(records_by_benchmark)
+    for name in names:
+        if not records_by_benchmark[name]:
+            raise ValueError(f"benchmark {name!r} has zero records")
+        if (inputs_by_benchmark is not None
+                and len(inputs_by_benchmark.get(name, ()))
+                != len(records_by_benchmark[name])):
+            raise ValueError(
+                f"inputs for {name!r} must pair 1:1 with its records")
+    if weights is not None:
+        raw = [float(weights.get(name, 0.0)) for name in names]
+        if any(w < 0.0 for w in raw) or sum(raw) <= 0.0:
+            raise ValueError("weights must be non-negative and sum > 0")
+        probs = [w / sum(raw) for w in raw]
+    else:
+        probs = [1.0 / len(names)] * len(names)
+
+    rng = np.random.default_rng(seed)
+    cursor = {name: 0 for name in names}
+    jobs: List[FleetJob] = []
+    for i, arrival in enumerate(sorted(arrivals)):
+        name = names[int(rng.choice(len(names), p=probs))]
+        tenant = str(tenants[int(rng.integers(len(tenants)))])
+        records = records_by_benchmark[name]
+        k = cursor[name] % len(records)
+        cursor[name] += 1
+        record = replace(records[k], index=i)
+        job_input = None
+        if inputs_by_benchmark is not None:
+            job_input = inputs_by_benchmark[name][k]
+        jobs.append(FleetJob(
+            benchmark=name, tenant=tenant,
+            job=StreamJob(index=i, record=record,
+                          arrival=float(arrival), job_input=job_input),
+        ))
+    return jobs
+
+
+def build_mixed_stream(bundles: Mapping[str, "BenchmarkBundle"],
+                       arrivals: Sequence[float],
+                       seed: int = 0,
+                       weights: Optional[Mapping[str, float]] = None,
+                       tenants: Sequence[str] = ("default",),
+                       with_inputs: bool = False) -> List[FleetJob]:
+    """A mixed fleet stream over several benchmark bundles.
+
+    The bundle analogue of :func:`build_stream_jobs`: cycles each
+    bundle's precomputed test records under a seeded benchmark/tenant
+    interleaving; ``with_inputs=True`` attaches encoded job inputs so
+    shards can run :class:`~repro.serve.server.SlicePredictor` live.
+    """
+    records = {name: bundle.test_records
+               for name, bundle in bundles.items()}
+    inputs = None
+    if with_inputs:
+        inputs = {}
+        for name, bundle in bundles.items():
+            encoded = [bundle.design.encode_job(item)
+                       for item in bundle.workload.test]
+            inputs[name] = encoded[:len(bundle.test_records)]
+    return mixed_stream_jobs(records, arrivals, seed=seed,
+                             weights=weights, tenants=tenants,
+                             inputs_by_benchmark=inputs)
 
 
 def build_stream_jobs(bundle: "BenchmarkBundle",

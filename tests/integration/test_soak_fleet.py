@@ -1,0 +1,127 @@
+"""Fleet soak: 10k+ mixed multi-tenant jobs, every policy, strict.
+
+One mixed stream per routing policy over a heterogeneous two-benchmark
+pool, served with ``REPRO_CHECK=strict`` — so every shard replays
+through :func:`repro.check.check_stream` *and* the whole run replays
+through :func:`repro.check.check_fleet` inside :func:`serve_fleet`.
+Reaching the fixture's return means zero conservation violations
+across all four policies; seeded arrivals keep it bit-reproducible.
+"""
+
+import pytest
+
+from repro.experiments import make_controller, tech_context
+from repro.serve import (
+    POLICIES,
+    FleetConfig,
+    RecordPredictor,
+    ServeConfig,
+    ShardSpec,
+    TenantSpec,
+    build_mixed_stream,
+    poisson_arrivals,
+    serve_fleet,
+)
+
+SCALE = 0.05
+BENCHMARKS = ("cjpeg", "aes")
+INSTANCES_PER_BENCHMARK = 2
+JOBS_PER_POLICY = 2_600      # x 4 policies ~ 10.4k jobs
+RATE = 400.0                 # jobs/s on the virtual clock
+TENANTS = (TenantSpec("gold"),
+           TenantSpec("free", rate=150.0, burst=20.0))
+
+
+@pytest.fixture(scope="module")
+def fleet_soak(shared_bundle):
+    patch = pytest.MonkeyPatch()
+    patch.setenv("REPRO_CHECK", "strict")
+    try:
+        bundles = {name: shared_bundle(name, SCALE)
+                   for name in BENCHMARKS}
+        contexts = {name: tech_context(bundle, tech="asic")
+                    for name, bundle in bundles.items()}
+
+        def make_specs():
+            specs = []
+            for name in BENCHMARKS:
+                ctx = contexts[name]
+                config = ServeConfig(deadline=ctx.config.deadline,
+                                     t_switch=ctx.config.t_switch,
+                                     queue_depth=16)
+                for k in range(INSTANCES_PER_BENCHMARK):
+                    specs.append(ShardSpec(
+                        name=f"{name}#{k}", benchmark=name,
+                        controller=make_controller(ctx, "prediction"),
+                        energy_model=ctx.energy_model,
+                        slice_energy_model=ctx.slice_energy_model,
+                        predictor=RecordPredictor(),
+                        config=config))
+            return specs
+
+        results = {}
+        for i, policy in enumerate(POLICIES):
+            arrivals = poisson_arrivals(RATE, n_jobs=JOBS_PER_POLICY,
+                                        seed=2000 + i)
+            jobs = build_mixed_stream(
+                bundles, arrivals, seed=2000 + i,
+                tenants=tuple(t.name for t in TENANTS))
+            # Strict mode: serve_fleet replays check_fleet and raises
+            # on any violation — reaching the return IS the assertion.
+            results[policy] = serve_fleet(
+                make_specs(), jobs, FleetConfig(policy=policy),
+                tenants=TENANTS, workers=1)
+        return results
+    finally:
+        patch.undo()
+
+
+def test_fleet_soak_covers_ten_thousand_jobs(fleet_soak):
+    total = sum(r.n_offered for r in fleet_soak.values())
+    assert total == len(POLICIES) * JOBS_PER_POLICY
+    assert total >= 10_000
+
+
+def test_fleet_soak_conserves_under_every_policy(fleet_soak):
+    for policy, result in fleet_soak.items():
+        assert result.policy == policy
+        assert (result.n_completed + result.n_fallback + result.n_shed
+                == result.n_offered), policy
+        settled = (len(result.sheds)
+                   + sum(r.n_offered for r in result.shards))
+        assert settled == result.n_offered, policy
+
+
+def test_fleet_soak_conserves_per_tenant(fleet_soak):
+    for policy, result in fleet_soak.items():
+        summary = result.tenant_summary()
+        assert set(summary) == {t.name for t in TENANTS}, policy
+        for tenant, row in summary.items():
+            assert row["offered"] == (row["completed"]
+                                      + row["fallback"]
+                                      + row["shed"]), (policy, tenant)
+            assert row["offered"] > 0, (policy, tenant)
+
+
+def test_fleet_soak_rate_limits_bite(fleet_soak):
+    """The free tier's bucket (150 jobs/s of a ~200 jobs/s share) must
+    actually shed somewhere across the soak — otherwise the limiter
+    was never exercised."""
+    limited = sum(
+        1
+        for result in fleet_soak.values()
+        for shed in result.sheds
+        if shed.reason == "rate_limit")
+    assert limited > 0
+    for result in fleet_soak.values():
+        assert all(s.tenant == "free" for s in result.sheds
+                   if s.reason == "rate_limit")
+
+
+def test_fleet_soak_executes_work_everywhere(fleet_soak):
+    for policy, result in fleet_soak.items():
+        assert result.n_completed > 0, policy
+        assert result.total_energy > 0.0, policy
+        for spec, shard in zip(result.specs, result.shards):
+            if shard.n_offered:
+                assert shard.n_completed > 0, (policy, spec.name)

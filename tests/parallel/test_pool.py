@@ -9,6 +9,7 @@ from repro.parallel import (
     resolve_jobs,
     set_default_jobs,
 )
+from repro.parallel.pool import balanced_chunks
 
 
 def _square(x):
@@ -103,3 +104,36 @@ def test_pmap_emits_pool_metrics():
 def test_pmap_empty_and_singleton():
     assert pmap(_square, [], jobs=4) == []
     assert pmap(_square, [7], jobs=4) == [49]
+
+
+WORKERS = 4
+
+
+@pytest.mark.parametrize("n", [0, 1, WORKERS - 1, WORKERS + 1,
+                               WORKERS, 3 * WORKERS + 2])
+def test_balanced_chunks_invariants(n):
+    """The degenerate-n regression: for every n — including n smaller
+    than the worker count — chunks are non-empty, contiguous, within
+    one item of each other, and concatenate back to the input."""
+    items = list(range(n))
+    chunks = balanced_chunks(items, WORKERS)
+    assert [x for chunk in chunks for x in chunk] == items
+    assert len(chunks) == min(n, WORKERS)
+    assert all(chunk for chunk in chunks)
+    if chunks:
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_balanced_chunks_validates():
+    with pytest.raises(ValueError, match="n_chunks"):
+        balanced_chunks([1, 2], 0)
+    assert balanced_chunks([], 5) == []
+    assert balanced_chunks([1], 5) == [[1]]
+
+
+@pytest.mark.parametrize("n", [0, 1, WORKERS - 1, WORKERS + 1])
+def test_pmap_degenerate_sizes_match_serial(n):
+    items = list(range(n))
+    assert pmap(_square, items, jobs=WORKERS) == \
+        pmap(_square, items, jobs=1)

@@ -4,10 +4,13 @@ from repro.obs import get_observer, session
 from repro.obs import runctx
 from repro.obs.merge import (
     DROPPED_COUNTER,
+    DROPPED_TIMESERIES,
     absorb_snapshots,
     activate_worker,
     worker_snapshot,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRegistry
 from repro.parallel import pmap
 from tests.parallel.test_parallel_flow import _toy_record_setup
 
@@ -79,12 +82,45 @@ def test_worker_snapshot_ships_deltas_and_resets():
         assert obs is not previous
         assert obs.sink is None  # file-less: never writes artifacts
         obs.metrics.inc("a")
+        obs.timeseries.observe("lat", 0.05, 2.0)
         first = worker_snapshot()
-        assert first["counters"] == {"a": 1.0}
+        assert first["metrics"]["counters"] == {"a": 1.0}
+        assert first["timeseries"] is not None
         second = worker_snapshot()  # fresh registry: only new deltas
-        assert second["counters"] == {}
+        assert second["metrics"]["counters"] == {}
+        assert second["timeseries"] is None  # no windowed samples
     finally:
         runctx._CURRENT = previous
+
+
+def _observed_window(x):
+    obs = get_observer()
+    obs.timeseries.observe("w.lat", 0.01 * x, float(x))
+    return x
+
+
+def test_worker_timeseries_merge_back_into_parent():
+    with session(command="t") as obs:
+        out = pmap(_observed_window, list(range(8)), jobs=4)
+        assert out == list(range(8))
+        assert "w.lat" in obs.timeseries.series_names()
+        shipped = sum(cell.count for _, cell
+                      in obs.timeseries.windows("w.lat"))
+    assert shipped == 8
+    assert DROPPED_TIMESERIES not in obs.metrics.counters
+
+
+def test_absorb_drops_mismatched_window_series():
+    # A worker bucketed its windows differently than the parent: its
+    # series cannot merge cell-for-cell, so it is counted, not folded.
+    with session(command="t") as obs:
+        foreign = TimeSeriesRegistry(
+            window_s=obs.timeseries.window_s * 2.0)
+        foreign.observe("x", 0.0, 1.0)
+        absorb_snapshots([{"metrics": MetricsRegistry().to_dict(),
+                           "timeseries": foreign.to_dict()}])
+        assert obs.metrics.counters[DROPPED_TIMESERIES] == 1.0
+        assert "x" not in obs.timeseries.series_names()
 
 
 def test_worker_snapshot_without_observer_is_none():

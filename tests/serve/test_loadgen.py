@@ -1,5 +1,6 @@
 """Load generation: open/closed loops and the latency report."""
 
+import numpy as np
 import pytest
 
 from repro.serve import LoadReport, percentile, run_closed_loop, run_open_loop
@@ -17,6 +18,33 @@ def test_percentile_nearest_rank():
     assert percentile([7.0], 99.0) == 7.0
     with pytest.raises(ValueError, match="percentile"):
         percentile(values, 101.0)
+    with pytest.raises(ValueError, match="percentile"):
+        percentile(values, -0.5)
+
+
+@pytest.mark.parametrize("values", [
+    [7.0],                          # single element
+    [1.0, 2.0],                     # even n: the old round() midpoint bug
+    [1.0, 2.0, 3.0, 4.0],           # n=4, q=50 used to return sorted[2]
+    [5.0, 5.0, 5.0, 5.0, 5.0],      # all ties
+    [1.0, 1.0, 2.0, 2.0, 3.0],      # partial ties
+    list(map(float, range(1, 101))),
+    [0.1, 0.2, 0.2, 0.2, 0.9, 1.5, 1.5, 2.0],
+])
+@pytest.mark.parametrize("q", [0.0, 1.0, 25.0, 50.0, 75.0, 90.0,
+                               99.0, 99.9, 100.0])
+def test_percentile_matches_numpy_inverted_cdf(values, q):
+    """Lock the nearest-rank definition to numpy's inverted CDF."""
+    expected = float(np.percentile(values, q, method="inverted_cdf"))
+    assert percentile(sorted(values), q) == expected
+
+
+def test_percentile_always_returns_a_sample():
+    """Nearest-rank never interpolates: the result is in the sample."""
+    rng = np.random.default_rng(3)
+    values = sorted(rng.normal(size=37).tolist())
+    for q in np.linspace(0.0, 100.0, 41):
+        assert percentile(values, float(q)) in values
 
 
 def test_open_loop_report_is_consistent(make_stream, asic_levels):

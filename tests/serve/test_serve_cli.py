@@ -104,6 +104,48 @@ def test_serve_slo_run_dir_artifacts_and_trace(cjpeg, tmp_path, capsys):
     assert "clean" in capsys.readouterr().out
 
 
+def test_serve_fleet_smoke(cjpeg, capsys):
+    assert main(["serve", "--fleet", "2", "--benchmark", "cjpeg",
+                 "--jobs", "40", "--rate", "400", "--virtual",
+                 "--policy", "least_loaded",
+                 "--tenants", "gold:rate=300:burst=20,free",
+                 "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet[least_loaded] x2: 40 offered" in out
+    assert "tenant gold:" in out and "tenant free:" in out
+    assert "serve: ok" in out
+
+
+def test_serve_fleet_counters_survive_workers(cjpeg, capsys):
+    assert main(["serve", "--fleet", "2", "--benchmark", "cjpeg",
+                 "--jobs", "30", "--rate", "400", "--virtual",
+                 "--policy", "round_robin", "--workers", "2",
+                 "--profile", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    # Shard-side serve.* counters reached the parent registry through
+    # the pool snapshot ship-back — nothing dropped.
+    assert "fleet counters: offered=30" in out
+    assert "dropped=0" in out
+
+
+def test_serve_fleet_too_small_exits_2(capsys):
+    assert main(["serve", "--fleet", "1", "--benchmark", "cjpeg",
+                 "aes", "--jobs", "5"]) == 2
+    assert "cannot cover" in capsys.readouterr().err
+
+
+def test_serve_fleet_bad_tenants_exits_2(capsys):
+    assert main(["serve", "--fleet", "2", "--benchmark", "cjpeg",
+                 "--jobs", "5", "--tenants", "a,a"]) == 2
+    assert "duplicate" in capsys.readouterr().err
+
+
+def test_serve_fleet_bad_policy_exits_2(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", "--fleet", "2", "--benchmark", "cjpeg",
+              "--jobs", "5", "--policy", "warp"])
+
+
 def test_report_export_trace_requires_run_dir(capsys):
     assert main(["report", "--export-trace", "out.json"]) == 2
     assert "needs a captured run" in capsys.readouterr().err

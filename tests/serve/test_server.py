@@ -240,3 +240,53 @@ def test_batched_slice_prediction_matches_per_job(shared_bundle):
             a.job.predicted_cycles, rel=1e-12)
         assert b.job.slice_cycles == a.job.slice_cycles
     assert violations_of(stream, batched) == []
+
+
+class _RescanBacklogStream(AcceleratorStream):
+    """Reference admission: recount in-flight work by rescanning every
+    executed outcome per arrival — the O(n^2) definition the
+    incremental counter in ``AcceleratorStream.backlog`` must match
+    shed-for-shed."""
+
+    def backlog(self, arrival):
+        executing = sum(1 for o in self.outcomes
+                        if o.executed and o.finish > arrival)
+        return len(self._queue) + executing
+
+
+def test_incremental_backlog_matches_rescan_on_10k_jobs(asic_levels):
+    """Regression: the amortized-O(1) in-flight counter makes exactly
+    the shed decisions a full outcome rescan would, over a 10k-job
+    stream spanning under-, over-, and bursty load."""
+    from repro.dvfs import PredictiveController
+    from repro.serve import (
+        RecordPredictor,
+        burst_arrivals,
+        poisson_arrivals,
+    )
+    from repro.units import DVFS_SWITCH_TIME
+
+    records = stream_records(asic_levels, n=50)
+    arrivals = sorted(
+        poisson_arrivals(400.0, n_jobs=7_000, seed=11)
+        + burst_arrivals(400.0, duration=10.0, seed=12))
+    arrivals = arrivals[:10_000]
+    assert len(arrivals) == 10_000
+
+    def run(stream_cls):
+        controller = PredictiveController(asic_levels,
+                                          DVFS_SWITCH_TIME)
+        stream = stream_cls(
+            "synthetic", controller, FlatEnergyModel(),
+            slice_energy_model=FlatEnergyModel(),
+            predictor=RecordPredictor(),
+            config=ServeConfig(deadline=DEADLINE, queue_depth=8))
+        return serve_stream(stream,
+                            stream_from_records(records, arrivals))
+
+    fast = run(AcceleratorStream)
+    reference = run(_RescanBacklogStream)
+    assert fast.n_offered == reference.n_offered == 10_000
+    assert fast.n_shed == reference.n_shed > 0
+    assert [o.status for o in fast.outcomes] == \
+        [o.status for o in reference.outcomes]
