@@ -1,0 +1,138 @@
+"""Perf-regression guard: diff fresh BENCH_*.json against baselines.
+
+Compares the throughput-like keys of freshly written benchmark
+records (``BENCH_sim.json``, ``BENCH_serve.json``) against the
+committed baselines (``git show <rev>:<file>``) and fails when any
+key regressed by more than the threshold.  Latency and wall-time keys
+are deliberately ignored — only higher-is-better figures gate.
+
+Usage::
+
+    python benchmarks/compare_bench.py [files ...]
+        [--baseline-rev HEAD] [--threshold 0.30]
+
+Exit codes: 0 = no regression (or skipped), 1 = regression found.
+Skips outright on hosts with fewer than four CPUs — wall-clock
+throughput there is too noisy to gate on — and for files with no
+committed baseline yet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+from typing import Dict, Iterator, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DEFAULT_FILES = ("BENCH_sim.json", "BENCH_serve.json")
+DEFAULT_THRESHOLD = 0.30
+MIN_CPUS = 4
+
+# Higher-is-better figures; everything else (wall_s, *_ms, counts,
+# configuration echoes) is informational and never gates.
+THROUGHPUT_SUFFIXES = (
+    "jobs_per_s",
+    "jobs_per_sec",
+    "cycles_per_sec",
+    "speedup",
+)
+
+
+def is_throughput_key(key: str) -> bool:
+    return key.endswith(THROUGHPUT_SUFFIXES) or "_vs_" in key
+
+
+def throughput_keys(node, prefix: str = ""
+                    ) -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every gating key."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (dict, list)):
+                yield from throughput_keys(value, path)
+            elif (isinstance(value, (int, float))
+                  and not isinstance(value, bool)
+                  and is_throughput_key(key)):
+                yield path, float(value)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from throughput_keys(value, f"{prefix}[{i}]")
+
+
+def baseline_record(rev: str, name: str) -> Dict | None:
+    proc = subprocess.run(
+        ["git", "show", f"{rev}:{name}"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def compare_file(name: str, rev: str, threshold: float) -> list:
+    fresh_path = REPO_ROOT / name
+    if not fresh_path.exists():
+        print(f"compare_bench: {name}: no fresh record, skipping")
+        return []
+    baseline = baseline_record(rev, name)
+    if baseline is None:
+        print(f"compare_bench: {name}: no baseline at {rev}, skipping")
+        return []
+    fresh = dict(throughput_keys(json.loads(fresh_path.read_text())))
+    regressions = []
+    for path, base_value in throughput_keys(baseline):
+        if base_value <= 0.0:
+            continue
+        fresh_value = fresh.get(path)
+        if fresh_value is None:
+            # Removed/renamed keys are a review concern, not a perf one.
+            continue
+        drop = 1.0 - fresh_value / base_value
+        marker = " <-- REGRESSION" if drop > threshold else ""
+        print(f"  {name}:{path}: {base_value:,.1f} -> "
+              f"{fresh_value:,.1f} ({-drop:+.1%}){marker}")
+        if drop > threshold:
+            regressions.append((name, path, base_value, fresh_value))
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", default=None,
+                        help="bench records to diff (repo-relative)")
+    parser.add_argument("--baseline-rev", default="HEAD")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="maximum tolerated fractional drop")
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    if cpus < MIN_CPUS:
+        print(f"compare_bench: skipped ({cpus} CPUs < {MIN_CPUS}; "
+              "throughput gating needs a steady host)")
+        return 0
+
+    files = args.files or list(DEFAULT_FILES)
+    regressions = []
+    for name in files:
+        regressions += compare_file(name, args.baseline_rev,
+                                    args.threshold)
+    if regressions:
+        print(f"compare_bench: {len(regressions)} regression(s) "
+              f"beyond {args.threshold:.0%}:")
+        for name, path, base, new in regressions:
+            print(f"  {name}:{path}: {base:,.1f} -> {new:,.1f}")
+        return 1
+    print("compare_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

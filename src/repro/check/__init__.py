@@ -46,6 +46,7 @@ from .invariants import (
     SchemeCaps,
     capabilities_for,
     check_episode,
+    check_epochs,
     check_fleet,
     check_stream,
 )
@@ -66,7 +67,7 @@ __all__ = [
     "GOLDEN_SCHEMA_VERSION", "InvariantError", "InvariantViolation",
     "MUTATIONS", "SCHEME_CAPS", "STREAM_MUTATIONS", "SchemeCaps",
     "apply_mutation", "canonical_episode", "canonical_summaries",
-    "capabilities_for", "check_episode", "check_fleet",
+    "capabilities_for", "check_episode", "check_epochs", "check_fleet",
     "check_run_dir", "check_stream", "diff_against_golden",
     "diff_canonical",
     "golden_path", "load_golden", "make_golden_payload", "round_sig",

@@ -599,3 +599,103 @@ def check_fleet(result: "FleetResult",
             observer.metrics.inc("check.violations", len(violations))
 
     return violations
+
+
+def check_epochs(result: "StreamResult",
+                 epoch_log: List[tuple],
+                 rel_eps: float = TIME_EPS_REL
+                 ) -> List[InvariantViolation]:
+    """Audit the vectorized engine's decision-epoch conservation law.
+
+    The epoch engine (:mod:`repro.serve.vector`) may only coalesce
+    arrivals whose decisions are provably independent — which leaves a
+    re-checkable footprint on the finished stream.  For every epoch
+    ``(first_index, n_jobs)`` it committed:
+
+    * ``stream.epoch.shape`` — the epoch is non-empty and its first
+      job exists in the result;
+    * ``stream.epoch.overlap`` — epochs are ordered and disjoint: no
+      job is decided in two epochs;
+    * ``stream.epoch.regime`` — every epoch job ran in the uncoupled
+      regime: executed (never shed), micro-batch of exactly one, and
+      ``start == arrival`` (the server was idle at every admission);
+    * ``stream.epoch.chain`` — within an epoch each job's virtual
+      finish lies at or before its successor's arrival, which is
+      precisely the independence condition that justified deciding
+      them together.
+
+    Together with ``stream.conservation`` (from :func:`check_stream`)
+    this closes the loop: epoch jobs + scalar jobs + sheds account for
+    every offered job exactly once.
+    """
+    from ..serve.server import SHED
+
+    violations: List[InvariantViolation] = []
+
+    def bad(code: str, job: Optional[int], message: str,
+            expected: object = None, actual: object = None) -> None:
+        violations.append(InvariantViolation(
+            code=code, job_index=job, message=message,
+            expected=expected, actual=actual))
+
+    deadline = result.deadline
+    position = {o.index: k for k, o in enumerate(result.outcomes)}
+    prev_end = 0
+    prev_first = None
+    for first_index, n_jobs in epoch_log:
+        if n_jobs < 1:
+            bad("stream.epoch.shape", first_index,
+                "epoch committed no jobs", expected=">= 1",
+                actual=n_jobs)
+            continue
+        p = position.get(first_index)
+        if p is None:
+            bad("stream.epoch.shape", first_index,
+                "epoch's first job is missing from the result")
+            continue
+        if prev_first is not None and first_index <= prev_first:
+            bad("stream.epoch.overlap", first_index,
+                "epochs are out of order",
+                expected=f"> {prev_first}", actual=first_index)
+        if p < prev_end:
+            bad("stream.epoch.overlap", first_index,
+                "epoch overlaps its predecessor — a job was decided "
+                "twice", expected=f">= position {prev_end}", actual=p)
+        if p + n_jobs > len(result.outcomes):
+            bad("stream.epoch.shape", first_index,
+                "epoch extends past the end of the result",
+                expected=len(result.outcomes), actual=p + n_jobs)
+            prev_end = len(result.outcomes)
+            prev_first = first_index
+            continue
+        epoch = result.outcomes[p:p + n_jobs]
+        for k, o in enumerate(epoch):
+            if o.status == SHED:
+                bad("stream.epoch.regime", o.index,
+                    "epoch contains a shed job — epochs only form "
+                    "while admission cannot shed",
+                    expected="executed", actual=o.status)
+                continue
+            if o.batch_size != 1:
+                bad("stream.epoch.regime", o.index,
+                    "epoch job ran in a micro-batch larger than one",
+                    expected=1, actual=o.batch_size)
+            if not _times_equal(o.start, o.arrival, deadline, rel_eps):
+                bad("stream.epoch.regime", o.index,
+                    "epoch job did not start at its arrival — the "
+                    "server was not idle", expected=o.arrival,
+                    actual=o.start)
+            if k + 1 < n_jobs:
+                succ = epoch[k + 1]
+                if o.finish > succ.arrival + rel_eps * deadline:
+                    bad("stream.epoch.chain", o.index,
+                        "epoch job finishes after its successor's "
+                        "arrival — the decisions were not independent",
+                        expected=f"<= {succ.arrival}", actual=o.finish)
+        prev_end = p + n_jobs
+        prev_first = first_index
+
+    observer = get_observer()
+    if observer is not None and violations:
+        observer.metrics.inc("check.violations", len(violations))
+    return violations

@@ -1,6 +1,7 @@
 """DVFS machinery: V-f models, levels, energy, controllers."""
 
 from .controllers import (
+    BatchPlan,
     ConstantFrequencyController,
     Controller,
     HistoryController,
@@ -11,7 +12,14 @@ from .controllers import (
     PredictiveController,
     TableBasedController,
 )
-from .dvfs_model import DvfsDecision, required_frequency, select_level
+from .dvfs_model import (
+    BatchDecision,
+    DvfsDecision,
+    required_frequency,
+    required_frequency_batch,
+    select_level,
+    select_level_batch,
+)
 from .energy import (
     AsicEnergyModel,
     EnergyModel,
@@ -23,6 +31,7 @@ from .levels import (
     ASIC_VOLTAGES,
     BOOST_VOLTAGE,
     FPGA_VOLTAGES,
+    LevelArrays,
     LevelTable,
     OperatingPoint,
     build_level_table,
@@ -38,13 +47,16 @@ from .vf_model import (
 
 __all__ = [
     "ASIC_VOLTAGES", "AlphaPowerDevice", "AsicEnergyModel", "AsicVfModel",
-    "BOOST_VOLTAGE", "ConstantFrequencyController", "Controller",
+    "BOOST_VOLTAGE", "BatchDecision", "BatchPlan",
+    "ConstantFrequencyController", "Controller",
     "DvfsDecision", "EnergyModel", "FPGA_VOLTAGES", "Fo4Chain",
     "IntervalGovernorController",
     "FpgaEnergyModel", "FpgaVfModel", "HistoryController", "JobActivity",
-    "LevelTable", "OperatingPoint", "OracleController", "PidController",
+    "LevelArrays", "LevelTable", "OperatingPoint", "OracleController",
+    "PidController",
     "PidGains", "PidPredictor", "Plan", "PredictiveController",
     "TableBasedController", "VoltageFrequencyModel", "activity_from_run",
     "build_level_table", "replay_errors", "required_frequency",
-    "select_level", "tune_pid",
+    "required_frequency_batch", "select_level", "select_level_batch",
+    "tune_pid",
 ]

@@ -32,6 +32,8 @@ from .fleet import (
 from .loadgen import LoadReport, percentile, run_closed_loop, run_open_loop
 from .server import (
     COMPLETED,
+    ENGINE_ENV,
+    ENGINES,
     FALLBACK,
     SHED,
     TERMINAL_STATES,
@@ -41,9 +43,11 @@ from .server import (
     SlicePredictor,
     StreamOutcome,
     StreamResult,
+    resolve_engine,
     serve_stream,
     serve_streams,
 )
+from .vector import EpochEngine, drive_stream_vectorized
 from .stream import (
     FleetJob,
     StreamJob,
@@ -57,16 +61,20 @@ from .stream import (
 )
 
 __all__ = [
-    "COMPLETED", "DEADLINE", "ENERGY_AWARE", "FALLBACK",
+    "COMPLETED", "DEADLINE", "ENERGY_AWARE", "ENGINES", "ENGINE_ENV",
+    "FALLBACK",
     "LEAST_LOADED", "POLICIES", "ROUND_ROBIN", "SHED",
     "SHED_REASONS", "TERMINAL_STATES",
-    "AcceleratorStream", "FleetConfig", "FleetDispatcher", "FleetJob",
+    "AcceleratorStream", "EpochEngine", "FleetConfig",
+    "FleetDispatcher", "FleetJob",
     "FleetResult", "FleetShed", "LoadReport", "RecordPredictor",
     "RoutingDecision", "ServeConfig", "ShardSpec", "SlicePredictor",
     "StreamJob", "StreamOutcome", "StreamResult", "TenantSpec",
     "TokenBucket", "build_mixed_stream", "build_stream_jobs",
-    "burst_arrivals", "mixed_stream_jobs", "parse_tenants",
-    "percentile", "poisson_arrivals", "run_closed_loop",
+    "burst_arrivals", "drive_stream_vectorized", "mixed_stream_jobs",
+    "parse_tenants",
+    "percentile", "poisson_arrivals", "resolve_engine",
+    "run_closed_loop",
     "run_open_loop", "serve_fleet", "serve_stream", "serve_streams",
     "stream_from_records", "trace_replay", "virtual_outcomes",
 ]

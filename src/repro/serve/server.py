@@ -32,6 +32,7 @@ paces arrivals against the wall clock through asyncio, which is what
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, replace
@@ -39,6 +40,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..dvfs.controllers import Controller
 from ..dvfs.energy import EnergyModel, JobActivity
+from ..model.linear import predict_cycles_batch
 from ..obs import get_observer, span
 from ..runtime.episode import strict_checks_enabled, switch_window_energy
 from ..runtime.jobs import JobRecord
@@ -56,6 +58,16 @@ FALLBACK = "fallback"
 SHED = "shed"
 TERMINAL_STATES = (COMPLETED, FALLBACK, SHED)
 
+#: Decision-plane engines.  ``auto`` (the default) runs the
+#: epoch-coalescing vectorized engine (:mod:`repro.serve.vector`)
+#: wherever its eligibility proof holds and the scalar state machine
+#: everywhere else; ``scalar`` forces the per-job path; ``vector``
+#: insists on the vectorized driver (which still defers to scalar
+#: job-by-job whenever state coupling binds).  Selected per stream by
+#: ``ServeConfig.engine`` or globally by ``REPRO_SERVE_ENGINE``.
+ENGINES = ("auto", "scalar", "vector")
+ENGINE_ENV = "REPRO_SERVE_ENGINE"
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -67,6 +79,7 @@ class ServeConfig:
     batch_max: int = 8             # micro-batch size cap
     prediction_budget: Optional[float] = None  # wall seconds / decision
     strict: Optional[bool] = None  # None = follow REPRO_CHECK
+    engine: Optional[str] = None   # None = follow REPRO_SERVE_ENGINE
 
     def __post_init__(self) -> None:
         if self.deadline <= 0.0:
@@ -75,6 +88,24 @@ class ServeConfig:
             raise ValueError("queue_depth must be >= 1")
         if self.batch_max < 1:
             raise ValueError("batch_max must be >= 1")
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}")
+
+
+def resolve_engine(config: ServeConfig) -> str:
+    """The stream's effective decision-plane engine.
+
+    ``ServeConfig.engine`` wins; otherwise the ``REPRO_SERVE_ENGINE``
+    environment variable; otherwise ``auto``.
+    """
+    engine = config.engine
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, "auto") or "auto"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"{ENGINE_ENV} must be one of {ENGINES}, got {engine!r}")
+    return engine
 
 
 class RecordPredictor:
@@ -172,12 +203,17 @@ class SlicePredictor:
             jobs, max_cycles=self._max_cycles, ignore_unknown=True)
         x = _matrix_from_batch(self._package.feature_set,
                                result.events, len(jobs))
-        predictor = self._package.predictor
+        # One einsum over the whole feature matrix; the kernel is
+        # row-stable, so every job's prediction is independent of how
+        # many neighbours share its batch — which is what lets the
+        # scalar and vectorized engines (different batch shapes, same
+        # kernel) stay bit-identical.
+        predicted = predict_cycles_batch(self._package.predictor, x)
         for j, i in enumerate(rows):
             if not result.finished[j]:
                 continue
-            predicted = predictor.predict_one(x[j])
-            out[i] = (max(predicted, 0.0), int(result.cycles[j]))
+            out[i] = (max(float(predicted[j]), 0.0),
+                      int(result.cycles[j]))
         return out
 
 
@@ -316,6 +352,10 @@ class AcceleratorStream:
         self._in_flight = 0
         self.outcomes: List[StreamOutcome] = []
         self.n_offered = 0
+        #: Committed decision epochs as ``(first_index, n_jobs)``
+        #: pairs — written only by the vectorized engine, audited by
+        #: :func:`repro.check.check_epochs` in strict mode.
+        self.epoch_log: List[Tuple[int, int]] = []
         self.now = 0.0
         self._previous = self.levels.nominal
         #: Evaluate the ambient SLO tracker after every batch.  Left
@@ -581,7 +621,7 @@ def _check_result(stream: AcceleratorStream,
     if not strict:
         return
     # Imported lazily: repro.check imports this module's dataclasses.
-    from ..check import InvariantError, check_stream
+    from ..check import InvariantError, check_epochs, check_stream
     violations = check_stream(
         result,
         energy_model=stream.energy_model,
@@ -591,6 +631,9 @@ def _check_result(stream: AcceleratorStream,
         uses_slice=stream.controller.uses_slice,
         charge_overheads=stream.controller.charge_overheads,
     )
+    if stream.epoch_log:
+        violations = list(violations) + list(
+            check_epochs(result, stream.epoch_log))
     if violations:
         raise InvariantError(violations)
 
@@ -609,13 +652,29 @@ def _emit_stream_summary(result: StreamResult) -> None:
     )
 
 
-async def _serve_virtual(stream: AcceleratorStream,
-                         jobs: Sequence[StreamJob]) -> StreamResult:
-    """Drive one stream on the virtual clock, as fast as possible."""
+def _serve_virtual(stream: AcceleratorStream,
+                   jobs: Sequence[StreamJob]) -> StreamResult:
+    """Drive one stream on the virtual clock, as fast as possible.
+
+    Under the ``auto``/``vector`` engines the epoch-coalescing driver
+    takes over — it vectorizes decision epochs where they decouple and
+    replays the exact scalar ``offer``/``drain`` machine everywhere
+    else.  Realtime mode always runs scalar: epochs would require
+    arrivals that have not happened yet on the wall clock.
+
+    Deliberately synchronous: virtual serving never awaits, and
+    ``asyncio.run`` is far from free here — installing its SIGINT
+    handler reprs the pending main task, which stringifies the whole
+    queued job list (numpy feature arrays included) twice per run.
+    """
     t0 = time.perf_counter()
-    for sjob in jobs:
-        stream.offer(sjob)
-    stream.drain()
+    if resolve_engine(stream.config) != "scalar":
+        from .vector import drive_stream_vectorized
+        drive_stream_vectorized(stream, jobs)
+    else:
+        for sjob in jobs:
+            stream.offer(sjob)
+        stream.drain()
     return stream.result(wall_s=time.perf_counter() - t0)
 
 
@@ -661,10 +720,9 @@ async def _serve_realtime(stream: AcceleratorStream,
 
 
 async def _serve_all(streams: Sequence[Tuple[AcceleratorStream,
-                                             Sequence[StreamJob]]],
-                     realtime: bool) -> List[StreamResult]:
-    runner = _serve_realtime if realtime else _serve_virtual
-    tasks = [runner(stream, jobs) for stream, jobs in streams]
+                                             Sequence[StreamJob]]]
+                     ) -> List[StreamResult]:
+    tasks = [_serve_realtime(stream, jobs) for stream, jobs in streams]
     return list(await asyncio.gather(*tasks))
 
 
@@ -693,7 +751,11 @@ def serve_streams(streams: Sequence[Tuple[AcceleratorStream,
             stream.slo_live = False
     with span("serve", streams=len(streams),
               mode="realtime" if realtime else "virtual"):
-        results = asyncio.run(_serve_all(streams, realtime))
+        if realtime:
+            results = asyncio.run(_serve_all(streams))
+        else:
+            results = [_serve_virtual(stream, jobs)
+                       for stream, jobs in streams]
     for (stream, _), result in zip(streams, results):
         _emit_stream_summary(result)
         _check_result(stream, result)

@@ -375,3 +375,137 @@ def test_serve_fleet_strict_raises_on_violation(asic_levels,
     assert violations
     with pytest.raises(InvariantError):
         raise InvariantError(violations)
+
+
+# -- vectorized routing epochs and serial degrade --------------------
+
+
+def _dispatch_pair(asic_levels, jobs, **config_kw):
+    """Dispatch the same jobs through scalar and auto dispatchers."""
+    logs = {}
+    for engine in ("scalar", "auto"):
+        pool = make_pool(asic_levels)
+        dispatcher = FleetDispatcher(
+            pool, config=FleetConfig(engine=engine, **config_kw))
+        dispatcher.dispatch(jobs)
+        logs[engine] = dispatcher
+    return logs["scalar"], logs["auto"]
+
+
+def test_round_robin_epoch_matches_scalar_routing(asic_levels):
+    """The vectorized routing epoch reproduces the scalar dispatcher's
+    full audit trail — candidates, backlogs, choices — exactly."""
+    from repro.obs import session
+
+    jobs = mixed_jobs(asic_levels, rate=1500.0, n_jobs=400)
+    with session(command="epoch routing") as obs:
+        scalar, fast = _dispatch_pair(asic_levels, jobs,
+                                      policy=ROUND_ROBIN)
+        assert obs.metrics.counters.get("serve.fleet.epoch_jobs", 0) > 0
+    assert fast.routing_log == scalar.routing_log
+    assert fast.assignments == scalar.assignments
+    assert fast.sheds == scalar.sheds
+    assert fast.n_offered == scalar.n_offered
+    assert fast._rr == scalar._rr
+    # Reconstructed ledgers must carry the same projected clocks.
+    for a, b in zip(scalar._ledgers, fast._ledgers):
+        assert a.clock == b.clock
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_fleet_engines_bit_identical_for_every_policy(asic_levels,
+                                                      policy):
+    """serve_fleet under scalar vs auto engines: identical routing and
+    identical shard outcomes in canonical form, for all policies (only
+    round_robin vectorizes; the rest must pass through untouched)."""
+    jobs = mixed_jobs(asic_levels, rate=800.0, n_jobs=300)
+
+    def run(engine):
+        return serve_fleet(
+            make_pool(asic_levels), jobs,
+            config=FleetConfig(policy=policy, engine=engine,
+                               strict=False),
+            workers=1)
+
+    scalar, fast = run("scalar"), run("auto")
+    assert fast.assignments == scalar.assignments
+    assert fast.sheds == scalar.sheds
+    for a, b in zip(scalar.shards, fast.shards):
+        assert virtual_outcomes(a) == virtual_outcomes(b)
+    assert check_fleet(fast) == []
+
+
+def test_epoch_declines_on_rate_limits_elastic_and_depth(asic_levels):
+    """Any coupled admission feature keeps the scalar path — and the
+    results stay identical by construction."""
+    jobs = mixed_jobs(asic_levels, rate=1000.0, n_jobs=150,
+                      tenants=("limited",))
+    pool = make_pool(asic_levels)
+    # Rate-limited tenant: epoch ineligible.
+    dispatcher = FleetDispatcher(
+        pool, config=FleetConfig(policy=ROUND_ROBIN, engine="auto"),
+        tenants=[TenantSpec("limited", rate=100.0, burst=4.0)])
+    assert not dispatcher._epoch_eligible(jobs)
+    # Elastic scaling: epoch ineligible.
+    dispatcher = FleetDispatcher(
+        pool, config=FleetConfig(policy=ROUND_ROBIN, engine="auto",
+                                 elastic=True))
+    jobs_default = mixed_jobs(asic_levels, rate=1000.0, n_jobs=50)
+    assert not dispatcher._epoch_eligible(jobs_default)
+    # Pool at or above the global depth: epoch ineligible.
+    dispatcher = FleetDispatcher(
+        pool, config=FleetConfig(policy=ROUND_ROBIN, engine="auto",
+                                 global_depth=len(pool)))
+    assert not dispatcher._epoch_eligible(jobs_default)
+    # Non-round-robin policy: epoch ineligible.
+    dispatcher = FleetDispatcher(
+        pool, config=FleetConfig(policy=LEAST_LOADED, engine="auto"))
+    assert not dispatcher._epoch_eligible(jobs_default)
+
+
+def test_epoch_declines_unknown_benchmark_with_scalar_diagnostic(
+        asic_levels):
+    """A mid-stream job naming an unserved benchmark must raise the
+    scalar path's ValueError, with the offered count at the failing
+    job — not a vectorized IndexError."""
+    jobs = mixed_jobs(asic_levels, rate=500.0, n_jobs=60)
+    bad = dataclasses.replace(jobs[30], benchmark="gamma")
+    jobs = jobs[:30] + [bad] + jobs[31:]
+    dispatcher = FleetDispatcher(
+        make_pool(asic_levels),
+        config=FleetConfig(policy=ROUND_ROBIN, engine="auto"))
+    with pytest.raises(ValueError, match="gamma"):
+        dispatcher.dispatch(jobs)
+    assert dispatcher.n_offered == 31
+
+
+def test_serial_degrade_on_low_core_hosts(asic_levels, monkeypatch):
+    """Process fan-out auto-degrades to serial when the host cannot
+    give each shard two cores — counted, and still bit-identical."""
+    from repro.obs import session
+    from repro.serve import fleet as fleet_mod
+
+    jobs = mixed_jobs(asic_levels, rate=400.0, n_jobs=120)
+
+    def run(workers, cores):
+        monkeypatch.setattr(fleet_mod, "usable_cores", lambda: cores)
+        with session(command="degrade") as obs:
+            result = serve_fleet(
+                make_pool(asic_levels), jobs,
+                config=FleetConfig(policy=ROUND_ROBIN, strict=False),
+                workers=workers)
+            degraded = obs.metrics.counters.get(
+                "serve.fleet.serial_degrade", 0.0)
+        return result, degraded
+
+    serial, degraded_serial = run(workers=1, cores=1)
+    # workers=1 never degrades (nothing to degrade).
+    assert degraded_serial == 0.0
+    parallel, degraded_parallel = run(workers=4, cores=2)
+    # 4 shards on 2 cores: degrade kicks in exactly once.
+    assert degraded_parallel == 1.0
+    for a, b in zip(serial.shards, parallel.shards):
+        assert virtual_outcomes(a) == virtual_outcomes(b)
+    # With ample cores the fan-out is left alone.
+    _, degraded_wide = run(workers=4, cores=64)
+    assert degraded_wide == 0.0
