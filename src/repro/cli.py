@@ -17,6 +17,10 @@ Commands:
   run directory, re-run every (benchmark, scheme) episode under the
   invariant checker and diff canonical traces against the goldens
   (``--golden-dir tests/golden``, regenerate with ``--update-golden``);
+* ``conform --seeds N`` — sweep sampled accelerators from
+  :mod:`repro.gen` through the differential conformance battery:
+  four-backend bit-for-bit agreement, offline-flow training, episode
+  invariants on ASIC and FPGA, and adversarial served streams;
 * ``serve --benchmark <name> --rate R --duration S`` — run the online
   serving runtime: seeded arrival streams over one or more
   accelerators, per-job slice prediction and level selection, bounded
@@ -366,6 +370,32 @@ def _cmd_check(args: argparse.Namespace) -> int:
                  else f"{len(violations)} violation(s)"))
         return 1 if violations else 0
     return _check_fresh(args)
+
+
+def _cmd_conform(args: argparse.Namespace) -> int:
+    """Sweep sampled designs through the conformance battery and
+    report one status line per design; exit 1 on any failing check."""
+    from .gen import run_conformance
+
+    seeds = (args.seed_list if args.seed_list is not None
+             else args.seeds)
+    _apply_perf_opts(args)
+    failures = 0
+    with _maybe_observe(args, "conform") as obs:
+        reports = run_conformance(seeds, complexity=args.complexity,
+                                  n_train=args.train_jobs,
+                                  n_test=args.test_jobs)
+        if obs is not None:
+            _print_stage_timings(obs, args.run_dir)
+    for report in reports:
+        print(report.summary())
+        for name, diag in report.failures.items():
+            print(f"  FAIL {name}: {diag}")
+            failures += 1
+    n_pass = sum(1 for r in reports if r.passed)
+    print(f"conform: {n_pass}/{len(reports)} designs pass "
+          f"({args.complexity}, {len(reports)} seed(s))")
+    return 1 if failures else 0
 
 
 def _check_fresh(args: argparse.Namespace) -> int:
@@ -920,6 +950,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "the checker catches them")
 
     p = sub.add_parser(
+        "conform", parents=[obs_opts, perf_opts],
+        help="sweep generated designs through the differential "
+             "conformance battery (backends, flow, episodes, streams)")
+    p.add_argument("--seeds", type=int, default=10, metavar="N",
+                   help="number of sampler seeds to sweep, 0..N-1 "
+                        "(default 10)")
+    p.add_argument("--seed-list", nargs="*", type=int, default=None,
+                   metavar="S", help="explicit seeds (overrides "
+                                     "--seeds)")
+    p.add_argument("--complexity", choices=("small", "medium", "large"),
+                   default="medium")
+    p.add_argument("--train-jobs", type=int, default=24,
+                   help="training workload size per design (default 24)")
+    p.add_argument("--test-jobs", type=int, default=12,
+                   help="test workload size per design (default 12)")
+
+    p = sub.add_parser(
         "serve", parents=[obs_opts],
         help="run the online serving runtime over live job streams")
     p.add_argument("--benchmark", nargs="+", required=True,
@@ -1026,6 +1073,7 @@ _HANDLERS = {
     "list": _cmd_list,
     "describe": _cmd_describe,
     "check": _cmd_check,
+    "conform": _cmd_conform,
     "experiment": _cmd_experiment,
     "verilog": _cmd_verilog,
     "predict": _cmd_predict,

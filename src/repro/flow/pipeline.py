@@ -208,6 +208,17 @@ def generate_predictor(design: AcceleratorDesign,
             netlist = synthesize(module)
         with span("detect", design=design.name):
             feature_set = discover_features(module, netlist)
+            if len(feature_set) == 0:
+                raise ValueError(
+                    f"design {design.name} exposes no candidate slice "
+                    f"features: the detectors found no FSM transition, "
+                    f"counter-load or guard signals to observe (a "
+                    f"design whose timing has no data-dependent waits "
+                    f"or dynamic stages cannot train a slice "
+                    f"predictor — add at least one counter-backed "
+                    f"wait or dynamic stage, or skip the flow and use "
+                    f"a non-predictive controller)"
+                )
             # Built for every backend so bundle contents (and the
             # prewarmed bundle cache) stay backend-invariant.
             compiled = compiled_clone(module)

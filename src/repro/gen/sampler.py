@@ -1,0 +1,269 @@
+"""Seeded design-space sampler: valid accelerators nobody hand-tuned.
+
+``sample_design(seed, complexity)`` deterministically draws one point
+from the block vocabulary of :mod:`repro.gen.blocks` — stage counts,
+stage kinds, affine latency coefficients, a mode branch, fork/join
+dataflow, a memory-fed producer, priced datapath blocks, descriptor
+field packing and nominal frequency are all functions of the seed —
+and wraps it as a :class:`GeneratedDesign`, a drop-in
+:class:`~repro.accelerators.base.AcceleratorDesign` with a matching
+workload generator (:func:`sample_workload`).
+
+Sampling is constrained, not filtered: every draw is valid by
+construction (lint-clean, terminating, at least one data-dependent
+wait so the flow always has informative features), so a conformance
+sweep over seeds 0..N-1 never wastes a seed on a rejected design.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..accelerators.base import AcceleratorDesign, JobInput
+from ..units import MHZ
+from .blocks import (
+    BranchSpec,
+    DatapathSpec,
+    DesignSpec,
+    FieldSpec,
+    ForkJoinSpec,
+    ProducerSpec,
+    StageSpec,
+    build_module,
+)
+
+#: Complexity tiers: (min_stages, max_stages, allow_fork, allow_producer)
+COMPLEXITIES = {
+    "small": (2, 3, False, False),
+    "medium": (3, 5, False, True),
+    "large": (4, 6, True, True),
+}
+
+#: Cell mixes for priced datapath blocks (name, cells).
+_CELL_MIXES = (
+    (("MUL", 4), ("ADD", 8)),
+    (("MUL", 12), ("ADD", 16)),
+    (("ADD", 24), ("XOR", 10)),
+    (("MUL", 2), ("ADD", 4), ("SHR", 6)),
+)
+
+#: Nominal frequencies generated designs run at (Table-4 style range).
+_FREQUENCIES = (50.0, 100.0, 150.0, 200.0, 250.0)
+
+
+class GeneratedDesign(AcceleratorDesign):
+    """A sampled accelerator: spec-driven build plus job encoding.
+
+    Workload items are lists of packed descriptor words (one word per
+    loop iteration); ``encode_job`` loads them into the ``items``
+    scratchpad, sets ``n_items`` and — when the design has a producer
+    — fills the producer's feed memory from a per-job hash of the
+    items, so feed contents are reproducible from the item list alone.
+    """
+
+    def __init__(self, spec: DesignSpec, nominal_frequency: float,
+                 seed: int, complexity: str):
+        self.name = spec.name
+        self.description = (
+            f"generated accelerator (seed {seed}, {complexity}): "
+            f"{len(spec.pipeline)}-block item loop"
+        )
+        self.task_description = "process one descriptor list"
+        self.nominal_frequency = nominal_frequency
+        self.spec = spec
+        self.seed = seed
+        self.complexity = complexity
+        super().__init__()
+
+    def _build(self):
+        """Lower the sampled spec to a finalized RTL module."""
+        return build_module(self.spec)
+
+    def encode_job(self, items) -> JobInput:
+        """Encode one descriptor list into a loadable job."""
+        words = [int(w) & ((1 << self.spec.mem_width) - 1)
+                 for w in items]
+        memories = {"items": words}
+        prod = self.spec.producer
+        if prod is not None:
+            memories[prod.mem_name] = _feed_words(words, prod)
+        return JobInput(
+            inputs={"n_items": len(words)},
+            memories=memories,
+            coarse_param=_coarse_param(words, self.spec),
+            meta={"n_items": len(words)},
+        )
+
+
+def _feed_words(words: List[int], prod: ProducerSpec) -> List[int]:
+    """Deterministic producer-feed contents derived from the items."""
+    mask = (1 << prod.width) - 1
+    mixed = 0x9E37
+    for w in words:
+        mixed = (mixed * 33 + w) & 0xFFFF
+    return [((mixed >> (i % 8)) * (i + 3)) & mask
+            for i in range(prod.depth)]
+
+
+def _coarse_param(words: List[int], spec: DesignSpec) -> int:
+    """A table-controller lookup key: bucketized total field work."""
+    if not spec.fields:
+        return len(words) // 4
+    f = spec.fields[0]
+    total = sum((w >> f.offset) & f.mask for w in words)
+    return total // max(16, f.mask)
+
+
+def _sample_fields(rng: random.Random, mem_width: int
+                   ) -> Tuple[FieldSpec, ...]:
+    """Pack 2-3 descriptor fields plus a mode bit into the item word."""
+    fields: List[FieldSpec] = []
+    offset = 0
+    n_data = rng.randint(2, 3)
+    for i in range(n_data):
+        bits = rng.randint(4, 7)
+        if offset + bits > mem_width - 1:
+            break
+        fields.append(FieldSpec(f"f{i}", offset=offset, bits=bits))
+        offset += bits
+    fields.append(FieldSpec("mode", offset=mem_width - 1, bits=1))
+    return tuple(fields)
+
+
+def _sample_stage(rng: random.Random, name: str, kind: str,
+                  data_fields: Tuple[FieldSpec, ...]) -> StageSpec:
+    """One stage of the drawn kind with affine data-dependent timing."""
+    if kind == "step":
+        return StageSpec(kind="step", name=name)
+    field = rng.choice(data_fields).name
+    return StageSpec(
+        kind=kind, name=name,
+        base=rng.randint(2, 24),
+        coeff=rng.randint(1, 8),
+        field=field,
+        feeds_control=(kind == "wait" and rng.random() < 0.2),
+    )
+
+
+def sample_design(seed: int, complexity: str = "medium"
+                  ) -> GeneratedDesign:
+    """Draw one valid, lint-clean accelerator from the design space.
+
+    Deterministic in ``(seed, complexity)``; the returned design's
+    name encodes both (``gen<seed>_<tier initial>``).  Guarantees at
+    least one counter-backed wait with data-dependent duration, so
+    feature discovery always finds informative columns.
+    """
+    if complexity not in COMPLEXITIES:
+        raise ValueError(
+            f"unknown complexity {complexity!r}; "
+            f"expected one of {tuple(COMPLEXITIES)}")
+    lo, hi, allow_fork, allow_producer = COMPLEXITIES[complexity]
+    rng = random.Random((seed, complexity).__repr__())
+
+    mem_width = rng.choice((16, 20, 24))
+    mem_depth = rng.choice((32, 64))
+    fields = _sample_fields(rng, mem_width)
+    data_fields = tuple(f for f in fields if f.name != "mode")
+
+    pipeline: List[object] = []
+    stage_id = 0
+    n_stages = rng.randint(lo, hi)
+    kinds: List[str] = []
+    for _ in range(n_stages):
+        kinds.append(rng.choices(
+            ("step", "wait", "dyn"), weights=(2, 5, 1))[0])
+    if "wait" not in kinds:  # the informative-feature guarantee
+        kinds[rng.randrange(len(kinds))] = "wait"
+
+    use_branch = rng.random() < 0.5
+    use_fork = allow_fork and rng.random() < 0.8
+    special_slots = []
+    if use_branch:
+        special_slots.append("branch")
+    if use_fork:
+        special_slots.append("fork")
+    rng.shuffle(special_slots)
+
+    wait_stage_names: List[str] = []
+    for kind in kinds:
+        name = f"S{stage_id}"
+        stage_id += 1
+        stage = _sample_stage(rng, name, kind, data_fields)
+        pipeline.append(stage)
+        if kind == "wait":
+            wait_stage_names.append(name)
+    for special in special_slots:
+        at = rng.randint(0, len(pipeline))
+        if special == "branch":
+            arm_a = _sample_stage(rng, f"A{stage_id}", "wait",
+                                  data_fields)
+            arm_b = _sample_stage(rng, f"B{stage_id}", "wait",
+                                  data_fields)
+            pipeline.insert(at, BranchSpec(
+                name=f"BR{stage_id}", mode_field="mode",
+                arms=(arm_a, arm_b)))
+        else:
+            branches = tuple(
+                _sample_stage(rng, f"K{stage_id}_{k}", "wait",
+                              data_fields)
+                for k in range(rng.randint(2, 3)))
+            pipeline.insert(at, ForkJoinSpec(
+                name=f"FJ{stage_id}", branches=branches))
+        stage_id += 1
+
+    producer: Optional[ProducerSpec] = None
+    if allow_producer and rng.random() < 0.6:
+        producer = ProducerSpec(
+            name="prod", mem_name="feed",
+            depth=rng.choice((16, 32)), width=12,
+            base=rng.randint(1, 4), mask=0x1F,
+        )
+
+    datapaths: List[DatapathSpec] = []
+    for name in wait_stage_names[:2]:
+        if rng.random() < 0.7:
+            datapaths.append(DatapathSpec(
+                name=f"dp_{name.lower()}", stage=name,
+                cells=rng.choice(_CELL_MIXES),
+                width=16,
+                input_field=rng.choice(data_fields).name,
+            ))
+
+    spec = DesignSpec(
+        name=f"gen{seed}_{complexity[0]}",
+        fields=fields,
+        pipeline=tuple(pipeline),
+        mem_depth=mem_depth,
+        mem_width=mem_width,
+        producer=producer,
+        datapaths=tuple(datapaths),
+        busy_counter=rng.random() < 0.5,
+    )
+    frequency = rng.choice(_FREQUENCIES) * MHZ
+    return GeneratedDesign(spec, frequency, seed, complexity)
+
+
+def sample_workload(design: GeneratedDesign, n_jobs: int,
+                    seed: int = 0) -> List[List[int]]:
+    """Seeded descriptor lists matched to a generated design.
+
+    Items fill every packed field with independent draws; job lengths
+    vary between 2 and 14 items so the item-count and per-field work
+    features both carry variance.  Deterministic in ``(design.seed,
+    seed, n_jobs)``.
+    """
+    rng = random.Random((design.seed, seed, n_jobs).__repr__())
+    spec = design.spec
+    jobs: List[List[int]] = []
+    for _ in range(n_jobs):
+        n = rng.randint(2, 14)
+        items = []
+        for _ in range(n):
+            word = 0
+            for f in spec.fields:
+                word |= (rng.randint(0, f.mask) & f.mask) << f.offset
+            items.append(word)
+        jobs.append(items)
+    return jobs

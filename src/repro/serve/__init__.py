@@ -49,32 +49,41 @@ from .server import (
 )
 from .vector import EpochEngine, drive_stream_vectorized
 from .stream import (
+    ADVERSARIAL_MODES,
+    DeadlineClass,
     FleetJob,
     StreamJob,
+    adversarial_order,
     build_mixed_stream,
     build_stream_jobs,
     burst_arrivals,
     mixed_stream_jobs,
     poisson_arrivals,
+    split_by_deadline,
     stream_from_records,
     trace_replay,
+    vfr_arrivals,
 )
 
 __all__ = [
+    "ADVERSARIAL_MODES",
     "COMPLETED", "DEADLINE", "ENERGY_AWARE", "ENGINES", "ENGINE_ENV",
     "FALLBACK",
     "LEAST_LOADED", "POLICIES", "ROUND_ROBIN", "SHED",
     "SHED_REASONS", "TERMINAL_STATES",
-    "AcceleratorStream", "EpochEngine", "FleetConfig",
+    "AcceleratorStream", "DeadlineClass", "EpochEngine", "FleetConfig",
     "FleetDispatcher", "FleetJob",
     "FleetResult", "FleetShed", "LoadReport", "RecordPredictor",
     "RoutingDecision", "ServeConfig", "ShardSpec", "SlicePredictor",
     "StreamJob", "StreamOutcome", "StreamResult", "TenantSpec",
-    "TokenBucket", "build_mixed_stream", "build_stream_jobs",
+    "TokenBucket", "adversarial_order", "build_mixed_stream",
+    "build_stream_jobs",
     "burst_arrivals", "drive_stream_vectorized", "mixed_stream_jobs",
     "parse_tenants",
     "percentile", "poisson_arrivals", "resolve_engine",
     "run_closed_loop",
     "run_open_loop", "serve_fleet", "serve_stream", "serve_streams",
-    "stream_from_records", "trace_replay", "virtual_outcomes",
+    "split_by_deadline",
+    "stream_from_records", "trace_replay", "vfr_arrivals",
+    "virtual_outcomes",
 ]

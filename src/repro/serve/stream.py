@@ -5,9 +5,12 @@ The offline flow evaluates controllers over a *batch* of
 period boundaries.  A serving runtime instead sees jobs *arrive*: the
 stream layer pins each record to an arrival instant drawn from a
 seeded arrival process — Poisson (open-loop steady traffic), bursty
-(on/off phases at the same average rate), or the replay of a recorded
-trace — over the existing workload generators, so every stream is
-reproducible from ``(benchmark, scale, rate, seed)`` alone.
+(on/off phases at the same average rate), a drifting variable frame
+rate, or the replay of a recorded trace — over the existing workload
+generators, so every stream is reproducible from ``(benchmark, scale,
+rate, seed)`` alone.  Orthogonal scenario knobs reorder job *sizes*
+adversarially (:func:`adversarial_order`) and split one record pool
+into mixed-deadline service classes (:func:`split_by_deadline`).
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
+    Dict,
     List,
     Mapping,
     Optional,
@@ -102,6 +106,152 @@ def burst_arrivals(rate: float, duration: float, seed: int = 0,
             break
         times.append(wall)
     return times
+
+
+def vfr_arrivals(rate: float, n_jobs: int, seed: int = 0,
+                 jitter: float = 0.25, floor: float = 0.25,
+                 ceil: float = 4.0) -> List[float]:
+    """Variable-frame-rate arrivals: a frame clock whose rate drifts.
+
+    Models a camera or decoder whose frame rate wanders: each frame's
+    instantaneous rate follows a seeded geometric random walk
+    (log-normal steps of scale ``jitter``) clamped to
+    ``[rate * floor, rate * ceil]``, and the next arrival lands one
+    instantaneous period after the previous one.  Unlike Poisson
+    traffic the gaps are strongly correlated — sustained fast phases
+    build real backlog, sustained slow phases drain it — which is the
+    frame-deadline stress case Poisson smoothing never produces.
+    Deterministic in ``seed``.
+    """
+    if rate <= 0.0:
+        raise ValueError("rate must be positive")
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    if jitter < 0.0:
+        raise ValueError("jitter cannot be negative")
+    if not 0.0 < floor <= 1.0 <= ceil:
+        raise ValueError("need 0 < floor <= 1 <= ceil")
+    rng = np.random.default_rng(seed)
+    times: List[float] = []
+    now = 0.0
+    f = rate
+    for _ in range(n_jobs):
+        f = float(np.clip(f * np.exp(rng.normal(0.0, jitter)),
+                          rate * floor, rate * ceil))
+        now += 1.0 / f
+        times.append(now)
+    return times
+
+
+#: Orderings :func:`adversarial_order` knows how to produce.
+ADVERSARIAL_MODES = ("front_loaded", "alternating", "ramp")
+
+
+def adversarial_order(records: Sequence[JobRecord],
+                      mode: str = "front_loaded",
+                      seed: int = 0) -> List[JobRecord]:
+    """Reorder records so job *sizes* arrive adversarially.
+
+    The arrival process fixes *when* jobs come; this knob fixes *which
+    size* comes when — the controller-hostile distributions a uniform
+    record cycle never exercises:
+
+    * ``front_loaded`` — largest jobs first: the backlog a burst
+      builds is made of the most expensive work;
+    * ``alternating`` — largest/smallest interleaved: every job is a
+      worst case for history- and PID-style predictors and maximizes
+      DVFS level changes;
+    * ``ramp`` — ascending sizes: lulls feedback controllers into low
+      levels, then (on record cycling) cliffs back to the smallest.
+
+    Ties are broken by a seeded shuffle so equal-size records do not
+    depend on input order.  The result is a permutation: same records,
+    indices untouched (re-indexing happens in
+    :func:`stream_from_records`).
+    """
+    if mode not in ADVERSARIAL_MODES:
+        raise ValueError(
+            f"unknown adversarial mode {mode!r}; "
+            f"expected one of {ADVERSARIAL_MODES}")
+    if not records:
+        raise ValueError("cannot reorder zero records")
+    rng = np.random.default_rng(seed)
+    shuffled = list(records)
+    perm = rng.permutation(len(shuffled))
+    shuffled = [shuffled[int(i)] for i in perm]
+    ascending = sorted(shuffled, key=lambda r: r.actual_cycles)
+    if mode == "ramp":
+        return ascending
+    if mode == "front_loaded":
+        return ascending[::-1]
+    # alternating: big, small, next-big, next-small, ...
+    out: List[JobRecord] = []
+    lo, hi = 0, len(ascending) - 1
+    while lo <= hi:
+        out.append(ascending[hi])
+        hi -= 1
+        if lo <= hi:
+            out.append(ascending[lo])
+            lo += 1
+    return out
+
+
+@dataclass(frozen=True)
+class DeadlineClass:
+    """One service class of a mixed-deadline workload.
+
+    ``deadline`` is the per-job latency bound of every job routed to
+    this class; ``weight`` biases the seeded assignment (relative to
+    the other classes' weights).
+    """
+
+    name: str
+    deadline: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0.0:
+            raise ValueError("deadline must be positive")
+        if self.weight <= 0.0:
+            raise ValueError("weight must be positive")
+
+
+def split_by_deadline(records: Sequence[JobRecord],
+                      classes: Sequence[DeadlineClass],
+                      seed: int = 0) -> Dict[str, List[JobRecord]]:
+    """Partition records across deadline classes, seeded and total.
+
+    Each record is assigned to exactly one class by a seeded
+    ``weight``-biased draw; every class is guaranteed at least one
+    record (the largest class donates when a draw leaves one empty),
+    so each class can directly feed one
+    :class:`~repro.serve.server.AcceleratorStream` whose
+    :class:`~repro.serve.server.ServeConfig` carries that class's
+    deadline — the per-stream checker then audits every class under
+    its own bound.  Returns ``{class name: records}`` preserving
+    relative record order within each class.
+    """
+    if not classes:
+        raise ValueError("need at least one deadline class")
+    names = [c.name for c in classes]
+    if len(set(names)) != len(names):
+        raise ValueError("deadline class names must be unique")
+    if len(records) < len(classes):
+        raise ValueError(
+            f"{len(records)} record(s) cannot cover "
+            f"{len(classes)} deadline classes")
+    rng = np.random.default_rng(seed)
+    weights = np.array([c.weight for c in classes], dtype=float)
+    probs = weights / weights.sum()
+    out: Dict[str, List[JobRecord]] = {name: [] for name in names}
+    for record in records:
+        name = names[int(rng.choice(len(names), p=probs))]
+        out[name].append(record)
+    for name in names:  # non-empty guarantee
+        if not out[name]:
+            donor = max(names, key=lambda n: len(out[n]))
+            out[name].append(out[donor].pop())
+    return out
 
 
 def trace_replay(times: Sequence[float], speed: float = 1.0) -> List[float]:

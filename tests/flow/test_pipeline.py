@@ -97,3 +97,46 @@ def test_slice_prediction_matches_full_features(package):
         from_full = pkg.predictor.predict_one(recorder.vector())
         from_slice, _ = pkg.run_slice(job)
         assert from_slice == pytest.approx(max(from_full, 0.0), rel=1e-12)
+
+
+def _featureless_design():
+    # One register incremented by a conditional update rule, no FSMs,
+    # no counters — feature discovery finds zero candidate signals.
+    from repro.accelerators.base import AcceleratorDesign, JobInput
+    from repro.rtl import Module, Sig
+    from repro.units import MHZ
+
+    class Featureless(AcceleratorDesign):
+        name = "featureless"
+        description = "register-update-only design with no features"
+        task_description = "count to n"
+        nominal_frequency = 100.0 * MHZ
+
+        def _build(self):
+            m = Module(self.name)
+            m.port("n", 16)
+            m.reg("t", 16)
+            m.update("t", Sig("t") + 1, cond=Sig("t") < Sig("n"))
+            m.set_done(Sig("t") >= Sig("n"))
+            return m.finalize()
+
+        def encode_job(self, item):
+            return JobInput(inputs={"n": int(item)}, memories={},
+                            coarse_param=int(item) // 8,
+                            meta={"n": int(item)})
+
+    return Featureless()
+
+
+def test_empty_feature_set_raises_named_diagnostic():
+    """Regression: zero discovered features must fail fast and named.
+
+    Generated designs with no data-dependent waits used to train
+    silently to an intercept-only model; the flow now refuses them up
+    front with the design's name and the empty-feature cause.
+    """
+    design = _featureless_design()
+    with pytest.raises(ValueError,
+                       match="featureless.*no candidate slice features"):
+        generate_predictor(design, [4, 9, 17, 30],
+                           FlowConfig(gamma=1.0))

@@ -1,0 +1,134 @@
+"""Soak: generated accelerators served strictly under every scenario.
+
+The generative twin of ``test_soak_stream``: three sampled designs
+(one per complexity tier) go through the whole offline flow, then
+serve seeded streams under ``REPRO_CHECK=strict`` across the
+adversarial scenario knobs — Poisson baseline, front-loaded bursts,
+variable-frame-rate arrivals with alternating job sizes, and
+mixed-deadline service classes.  Strict mode replays every finished
+stream through :func:`repro.check.check_stream`, so reaching the
+assertions at all proves the serving invariants on designs nobody
+hand-tuned.
+"""
+
+import pytest
+
+from repro.experiments import make_controller, tech_context
+from repro.gen import sample_design
+from repro.gen.conformance import build_generated_bundle
+from repro.serve import (
+    AcceleratorStream,
+    DeadlineClass,
+    RecordPredictor,
+    ServeConfig,
+    adversarial_order,
+    burst_arrivals,
+    poisson_arrivals,
+    serve_streams,
+    split_by_deadline,
+    stream_from_records,
+    vfr_arrivals,
+)
+
+#: (seed, complexity) of the three soaked designs — one per tier.
+DESIGNS = ((0, "small"), (2, "medium"), (4, "large"))
+JOBS_PER_STREAM = 120
+
+
+@pytest.fixture(scope="module")
+def soak_results():
+    """Serve every (design, scenario) stream strictly; list of
+    (design name, scenario, StreamResult)."""
+    patch = pytest.MonkeyPatch()
+    patch.setenv("REPRO_CHECK", "strict")
+    try:
+        streams = []
+        labels = []
+        for seed, complexity in DESIGNS:
+            design = sample_design(seed, complexity)
+            bundle = build_generated_bundle(design, n_train=20,
+                                            n_test=10)
+            ctx = tech_context(bundle, tech="asic")
+            records = bundle.test_records
+            mean_cycles = (sum(r.actual_cycles for r in records)
+                           / len(records))
+            mean_t = mean_cycles / design.nominal_frequency
+            rate = 0.6 / mean_t
+            deadline = 4.0 * mean_t
+
+            def _stream(jobs, stream_deadline, scenario):
+                config = ServeConfig(deadline=stream_deadline,
+                                     t_switch=ctx.config.t_switch)
+                streams.append((AcceleratorStream(
+                    f"{design.name}:{scenario}",
+                    make_controller(ctx, "prediction"),
+                    ctx.energy_model, ctx.slice_energy_model,
+                    predictor=RecordPredictor(), config=config), jobs))
+                labels.append((design.name, scenario))
+
+            _stream(stream_from_records(
+                records,
+                poisson_arrivals(rate, n_jobs=JOBS_PER_STREAM,
+                                 seed=seed)), deadline, "poisson")
+            _stream(stream_from_records(
+                adversarial_order(records, "front_loaded", seed=seed),
+                burst_arrivals(rate, duration=JOBS_PER_STREAM / rate,
+                               seed=seed)), deadline, "burst")
+            _stream(stream_from_records(
+                adversarial_order(records, "alternating", seed=seed),
+                vfr_arrivals(rate, n_jobs=JOBS_PER_STREAM,
+                             seed=seed)), deadline, "vfr")
+            classes = (DeadlineClass("tight", deadline * 0.5),
+                       DeadlineClass("loose", deadline * 2.0,
+                                     weight=2.0))
+            parts = split_by_deadline(
+                adversarial_order(records, "ramp", seed=seed),
+                classes, seed=seed)
+            for k, cls in enumerate(classes):
+                _stream(stream_from_records(
+                    parts[cls.name],
+                    poisson_arrivals(rate / 2,
+                                     n_jobs=JOBS_PER_STREAM // 2,
+                                     seed=seed * 31 + k)),
+                    cls.deadline, f"deadline_{cls.name}")
+        # Strict mode: any invariant violation raises inside
+        # serve_streams — reaching the return IS the assertion.
+        results = serve_streams(streams, realtime=False)
+        return [(name, scenario, result)
+                for (name, scenario), result in zip(labels, results)]
+    finally:
+        patch.undo()
+
+
+def test_soak_covers_every_design_and_scenario(soak_results):
+    seen = {(name, scenario) for name, scenario, _ in soak_results}
+    names = {name for name, _, _ in soak_results}
+    assert len(names) == len(DESIGNS)
+    for name in names:
+        scenarios = {s for n, s, _ in soak_results if n == name}
+        assert scenarios == {"poisson", "burst", "vfr",
+                             "deadline_tight", "deadline_loose"}
+    assert len(seen) == len(DESIGNS) * 5
+
+
+def test_soak_conserves_every_stream(soak_results):
+    for name, scenario, result in soak_results:
+        assert len(result.outcomes) == result.n_offered, (name, scenario)
+        assert (result.n_completed + result.n_fallback + result.n_shed
+                == result.n_offered), (name, scenario)
+        indices = [o.index for o in result.outcomes]
+        assert indices == sorted(set(indices)), (name, scenario)
+
+
+def test_soak_executes_work_everywhere(soak_results):
+    for name, scenario, result in soak_results:
+        assert result.n_completed > 0, (name, scenario)
+        assert result.total_energy > 0.0, (name, scenario)
+        assert result.makespan > 0.0, (name, scenario)
+
+
+def test_soak_fallback_is_exceptional(soak_results):
+    """Record replay carries a prediction for every job, so the
+    degraded path must stay exceptional on generated designs too."""
+    for name, scenario, result in soak_results:
+        assert result.fallback_rate <= 0.01, (name, scenario)
